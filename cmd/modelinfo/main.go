@@ -1,0 +1,107 @@
+// Command modelinfo dumps a machine model: ports, frontend parameters,
+// memory pipeline, and (optionally) the full instruction table with
+// latencies, reciprocal throughputs, and port assignments — the data
+// OSACA ships as machine files.
+//
+// Usage:
+//
+//	modelinfo -arch zen4 [-instrs] [-mnemonic vaddpd]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"incore/internal/uarch"
+)
+
+func main() {
+	arch := flag.String("arch", "", "machine model key (empty: list all)")
+	instrs := flag.Bool("instrs", false, "dump the instruction table")
+	mnemonic := flag.String("mnemonic", "", "show only entries for this mnemonic")
+	export := flag.String("export", "", "write the model as a JSON machine file to this path")
+	flag.Parse()
+
+	if *arch == "" {
+		for _, m := range uarch.All() {
+			fmt.Printf("%-12s %s (%s), %d ports, %d entries\n",
+				m.Key, m.Name, m.CPU, len(m.Ports), len(m.Entries))
+		}
+		return
+	}
+	m, err := uarch.Get(*arch)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "modelinfo: %v\n", err)
+		os.Exit(1)
+	}
+	if *export != "" {
+		f, err := os.Create(*export)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "modelinfo: %v\n", err)
+			os.Exit(1)
+		}
+		if err := m.WriteJSON(f); err != nil {
+			fmt.Fprintf(os.Stderr, "modelinfo: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "modelinfo: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("machine file written to %s\n", *export)
+		return
+	}
+	fmt.Printf("%s — %s (%s, %s)\n", m.Key, m.Name, m.CPU, m.Vendor)
+	fmt.Printf("ports (%d): %s\n", len(m.Ports), strings.Join(m.Ports, " "))
+	fmt.Printf("frontend: decode %d, issue %d µops/cy, retire %d, ROB %d, scheduler %d\n",
+		m.DecodeWidth, m.IssueWidth, m.RetireWidth, m.ROBSize, m.SchedSize)
+	fmt.Printf("memory: load ports %s (L1 lat %d cy, %d-bit), store AGU %s, store data %s (%d-bit)\n",
+		portNames(m, m.LoadPorts), m.LoadLat, m.LoadWidthBits,
+		portNames(m, m.StoreAGUPorts), portNames(m, m.StoreDataPorts), m.StoreWidthBits)
+	if m.WideLoadBits > 0 {
+		fmt.Printf("        loads >= %d bit restricted to %s\n", m.WideLoadBits, portNames(m, m.WideLoadPorts))
+	}
+	fmt.Printf("SIMD: %d bit native, %d FP vector units, %d integer units\n",
+		m.VecWidth, m.FPVectorUnits, m.IntUnits)
+	fmt.Printf("chip: %d cores, %.2f GHz base / %.2f GHz max\n",
+		m.CoresPerChip, m.BaseFreqGHz, m.MaxFreqGHz)
+
+	if !*instrs && *mnemonic == "" {
+		return
+	}
+	fmt.Printf("\n%-16s %-10s %5s %4s %6s  %s\n", "mnemonic", "sig", "width", "lat", "rtp", "ports")
+	entries := append([]uarch.Entry(nil), m.Entries...)
+	sort.SliceStable(entries, func(i, j int) bool {
+		if entries[i].Mnemonic != entries[j].Mnemonic {
+			return entries[i].Mnemonic < entries[j].Mnemonic
+		}
+		return entries[i].Width < entries[j].Width
+	})
+	for _, e := range entries {
+		if *mnemonic != "" && e.Mnemonic != *mnemonic {
+			continue
+		}
+		var ports []string
+		rtp := 0.0
+		for _, u := range e.Uops {
+			ports = append(ports, fmt.Sprintf("%s:%.1f", portNames(m, u.Ports), u.Cycles))
+			share := u.Cycles / float64(u.Ports.Count())
+			if share > rtp {
+				rtp = share
+			}
+		}
+		fmt.Printf("%-16s %-10s %5d %4d %6.2f  %s\n",
+			e.Mnemonic, e.Sig, e.Width, e.Lat, rtp, strings.Join(ports, " "))
+	}
+}
+
+func portNames(m *uarch.Model, mask uarch.PortMask) string {
+	var names []string
+	for _, i := range mask.Indices() {
+		names = append(names, m.Ports[i])
+	}
+	return "[" + strings.Join(names, ",") + "]"
+}

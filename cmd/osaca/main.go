@@ -1,0 +1,191 @@
+// Command osaca statically analyses an assembly loop body against one of
+// the three machine models, printing the OSACA-style port-pressure report,
+// the critical path, the loop-carried dependency, and the lower-bound
+// prediction — optionally alongside the LLVM-MCA-style baseline, a
+// simulated "measurement", and an ECM node-level prediction.
+//
+// OSACA/LLVM-MCA/IACA region markers in the input are honored.
+//
+// Usage:
+//
+//	osaca -arch goldencove|neoversev2|zen4 [-compare] [-sim] [-ecm MEM] [-nt] file.s
+//	echo "..." | osaca -arch zen4 -
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"incore/internal/core"
+	"incore/internal/ecm"
+	"incore/internal/isa"
+	"incore/internal/mca"
+	"incore/internal/sim"
+	"incore/internal/uarch"
+)
+
+func main() {
+	arch := flag.String("arch", "goldencove", "machine model: goldencove, neoversev2, zen4")
+	modelFile := flag.String("model", "", "load a custom JSON machine file instead of a built-in model")
+	compare := flag.Bool("compare", false, "also run the LLVM-MCA-style baseline")
+	simulate := flag.Bool("sim", false, "also run the core simulator (simulated measurement)")
+	ecmLevel := flag.String("ecm", "", "ECM prediction for a working set in L1|L2|L3|MEM")
+	nt := flag.Bool("nt", false, "assume non-temporal stores (no write-allocate) in the ECM prediction")
+	traceFile := flag.String("trace", "", "write a Chrome trace of the simulation to this file (implies -sim)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: osaca -arch <model> [-compare] [-sim] [-ecm LEVEL] <file.s|->")
+		os.Exit(2)
+	}
+	var (
+		src []byte
+		err error
+	)
+	if flag.Arg(0) == "-" {
+		src, err = io.ReadAll(os.Stdin)
+	} else {
+		src, err = os.ReadFile(flag.Arg(0))
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	var m *uarch.Model
+	if *modelFile != "" {
+		f, ferr := os.Open(*modelFile)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		m, err = uarch.ReadJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	} else {
+		m, err = uarch.Get(*arch)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	b, err := isa.ParseMarkedBlock(flag.Arg(0), m.Key, m.Dialect, string(src))
+	if err != nil {
+		fatal(err)
+	}
+	res, err := core.New().Analyze(b, m)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(res.Report())
+
+	if *compare {
+		mr, err := mca.PredictDefault(b, m)
+		if err != nil {
+			fatal(fmt.Errorf("mca: %w", err))
+		}
+		fmt.Printf("llvm-mca-style     : %7.2f cy/it\n", mr.CyclesPerIter)
+	}
+	if *simulate || *traceFile != "" {
+		cfg := sim.DefaultConfig(m)
+		var rec sim.TraceRecorder
+		if *traceFile != "" {
+			cfg.Trace = rec.Hook(b.Len())
+		}
+		sr, err := sim.Run(b, m, cfg)
+		if err != nil {
+			fatal(fmt.Errorf("sim: %w", err))
+		}
+		fmt.Printf("simulated measured : %7.2f cy/it\n", sr.CyclesPerIter)
+		fmt.Printf("port utilization   :")
+		for p, u := range sr.PortUtilization() {
+			if u >= 0.005 {
+				fmt.Printf(" %s=%.0f%%", m.Ports[p], 100*u)
+			}
+		}
+		fmt.Println()
+		if *traceFile != "" {
+			f, err := os.Create(*traceFile)
+			if err != nil {
+				fatal(err)
+			}
+			if err := rec.WriteJSON(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("trace written      : %s (%d events)\n", *traceFile, rec.Len())
+		}
+	}
+	if *ecmLevel != "" {
+		if err := runECM(b, m, res, *ecmLevel, *nt); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func runECM(b *isa.Block, m *uarch.Model, res *core.Result, levelName string, nt bool) error {
+	var level ecm.MemLevel
+	switch strings.ToUpper(levelName) {
+	case "L1":
+		level = ecm.L1
+	case "L2":
+		level = ecm.L2
+	case "L3":
+		level = ecm.L3
+	case "MEM":
+		level = ecm.MEM
+	default:
+		return fmt.Errorf("ecm: unknown level %q (want L1|L2|L3|MEM)", levelName)
+	}
+	em, err := ecm.For(m.Key)
+	if err != nil {
+		return err
+	}
+	elems := elemsPerIter(b, m)
+	tOL, tnOL, err := ecm.InCoreInputs(res, elems)
+	if err != nil {
+		return err
+	}
+	wa := ecm.WAFactorFor(m.Key, true)
+	if nt {
+		wa = 1.0
+	}
+	tr := ecm.TrafficForBlock(b, m.Dialect, wa)
+	r := em.Predict(tOL, tnOL, tr, level)
+	fmt.Print(r.Report())
+	fmt.Printf("  = %.2f cy/it at %d elements/iteration\n", r.CyclesPerIt(elems), elems)
+	return nil
+}
+
+// elemsPerIter estimates double-precision elements processed per loop
+// iteration from the widest store stream (falling back to loads).
+func elemsPerIter(b *isa.Block, m *uarch.Model) int {
+	loadBits, storeBits := 0, 0
+	for i := range b.Instrs {
+		in := &b.Instrs[i]
+		w := 64
+		for _, op := range in.Operands {
+			if op.Kind == isa.OpReg && op.Reg.Class == isa.ClassVec && op.Reg.Width > w {
+				w = op.Reg.Width
+			}
+		}
+		eff := isa.InstrEffects(in, m.Dialect)
+		storeBits += len(eff.StoreOps) * w
+		loadBits += len(eff.LoadOps) * w
+	}
+	if storeBits > 0 {
+		return storeBits / 64
+	}
+	if loadBits > 0 {
+		return loadBits / 64
+	}
+	return 1
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "osaca: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,103 @@
+// Command repro regenerates every table and figure of the paper's
+// evaluation on the simulation substrate.
+//
+// Usage:
+//
+//	repro [-exp all|table1|table2|table3|fig2|fig3|fig4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"incore/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: all, table1, table2, table3, fig2, fig3, fig4, ecm")
+	flag.Parse()
+
+	runners := map[string]func() (string, error){
+		"table1": func() (string, error) {
+			t, err := experiments.RunTable1()
+			if err != nil {
+				return "", err
+			}
+			return t.Render(), nil
+		},
+		"table2": func() (string, error) {
+			t, err := experiments.RunTable2()
+			if err != nil {
+				return "", err
+			}
+			return t.Render(), nil
+		},
+		"table3": func() (string, error) {
+			t, err := experiments.RunTable3()
+			if err != nil {
+				return "", err
+			}
+			return t.Render(), nil
+		},
+		"fig2": func() (string, error) {
+			f, err := experiments.RunFig2()
+			if err != nil {
+				return "", err
+			}
+			return f.Render(), nil
+		},
+		"fig3": func() (string, error) {
+			f, err := experiments.RunFig3()
+			if err != nil {
+				return "", err
+			}
+			return f.Render(), nil
+		},
+		"fig4": func() (string, error) {
+			f, err := experiments.RunFig4()
+			if err != nil {
+				return "", err
+			}
+			return f.Render(), nil
+		},
+		"ecm": func() (string, error) {
+			s, err := experiments.RunECM()
+			if err != nil {
+				return "", err
+			}
+			return s.Render(), nil
+		},
+		"nodeperf": func() (string, error) {
+			s, err := experiments.RunNodePerf()
+			if err != nil {
+				return "", err
+			}
+			return s.Render(), nil
+		},
+	}
+	order := []string{"table1", "table2", "table3", "fig2", "fig3", "fig4", "ecm", "nodeperf"}
+
+	run := func(name string) {
+		r, ok := runners[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "repro: unknown experiment %q (want one of %v)\n", name, order)
+			os.Exit(2)
+		}
+		out, err := r()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+
+	if *exp == "all" {
+		for _, name := range order {
+			fmt.Printf("================ %s ================\n", name)
+			run(name)
+		}
+		return
+	}
+	run(*exp)
+}

@@ -1,0 +1,80 @@
+// Command wabench runs the write-allocate evasion study (paper Fig. 4 and
+// Sec. III) for one system or all three, printing the traffic ratio per
+// core count, and optionally a SpecI2M threshold sweep (ablation).
+//
+// Usage:
+//
+//	wabench [-arch all|goldencove|neoversev2|zen4] [-nt] [-sweep-threshold]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"incore/internal/memsim"
+	"incore/internal/nodes"
+)
+
+func main() {
+	arch := flag.String("arch", "all", "system: all, goldencove, neoversev2, zen4")
+	nt := flag.Bool("nt", false, "use non-temporal stores")
+	sweep := flag.Bool("sweep-threshold", false, "SpecI2M threshold ablation (goldencove)")
+	flag.Parse()
+
+	if *sweep {
+		sweepThreshold()
+		return
+	}
+	keys := []string{"neoversev2", "goldencove", "zen4"}
+	if *arch != "all" {
+		keys = []string{*arch}
+	}
+	for _, key := range keys {
+		n, err := nodes.Get(key)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wabench: %v\n", err)
+			os.Exit(1)
+		}
+		counts := memsim.DefaultCounts(n.Cores)
+		ratios, err := memsim.WACurve(key, *nt, counts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wabench: %v\n", err)
+			os.Exit(1)
+		}
+		label := key
+		if *nt {
+			label += " (NT stores)"
+		}
+		fmt.Printf("%s: traffic/stored ratio by active cores\n", label)
+		sort.Ints(counts)
+		for _, c := range counts {
+			fmt.Printf("  %3d cores: %.3f\n", c, ratios[c])
+		}
+	}
+}
+
+// sweepThreshold shows how the SpecI2M utilization threshold shapes the
+// SPR curve (DESIGN.md ablation #3).
+func sweepThreshold() {
+	for _, thresh := range []float64{0.4, 0.55, 0.65, 0.8} {
+		cfg := memsim.MustConfigFor("goldencove")
+		cfg.SpecI2MThreshold = thresh
+		cfg.SpecI2MRampEnd = thresh + 0.25
+		sys, err := memsim.NewSystem(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wabench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("SpecI2M threshold %.2f:\n", thresh)
+		for _, c := range []int{4, 13, 26, 39, 52} {
+			r, err := sys.RunStoreStream(c, memsim.DefaultStoreLinesPerCore, false)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "wabench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("  %3d cores: %.3f\n", c, r.WARatio())
+		}
+	}
+}

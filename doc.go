@@ -1,0 +1,23 @@
+// Package incore is a from-scratch Go reproduction of "Microarchitectural
+// comparison and in-core modeling of state-of-the-art CPUs: Grace,
+// Sapphire Rapids, and Genoa" (Laukemann, Hager, Wellein; SC 2024,
+// arXiv:2409.08108).
+//
+// The library builds OSACA-style in-core port models for the Neoverse V2,
+// Golden Cove, and Zen 4 microarchitectures and validates them — in the
+// absence of the real machines — against a cycle-level out-of-order core
+// simulator, an LLVM-MCA-style baseline predictor, a multi-core cache and
+// memory-traffic simulator (write-allocate evasion study), and a TDP-based
+// frequency governor.
+//
+// Entry points:
+//
+//   - internal/core: the in-core analyzer (the paper's contribution)
+//   - internal/sim: the simulated "hardware"
+//   - internal/experiments: one runner per paper table/figure
+//   - cmd/repro, cmd/osaca, cmd/wabench: command-line tools
+//
+// See README.md for the architecture overview, DESIGN.md for the system
+// inventory and experiment index, and EXPERIMENTS.md for paper-vs-measured
+// results.
+package incore

@@ -1,0 +1,104 @@
+// What-if modeling with custom machine files.
+//
+// The point of having editable machine models (cmd/modelinfo -export +
+// cmd/osaca -model) is design-space exploration: what would a kernel gain
+// if the microarchitecture changed? This example clones the Zen 4 model
+// in memory, applies two hypothetical modifications —
+//
+//  1. a second store-data port (Zen 4's 1x256-bit store port is the
+//     bottleneck for store-heavy streams, see Table II), and
+//  2. a full-width 512-bit datapath (no double-pumping),
+//
+// — and compares the in-core predictions for the STREAM triad and the
+// 27-point stencil against the real model.
+//
+// Run with:
+//
+//	go run ./examples/whatif-model
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"incore/internal/core"
+	"incore/internal/kernels"
+	"incore/internal/uarch"
+)
+
+// clone round-trips a model through its JSON machine file, yielding an
+// independent copy safe to mutate.
+func clone(m *uarch.Model) *uarch.Model {
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		log.Fatal(err)
+	}
+	c, err := uarch.ReadJSON(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return c
+}
+
+func main() {
+	base := uarch.MustGet("zen4")
+
+	// Variant 1: add a second store-data port (reuse AGU1 as SD2 is not
+	// possible — extend the port list instead).
+	twoStores := clone(base)
+	twoStores.Key = "zen4+2xSD"
+	twoStores.Name = "Zen 4 (hypothetical: 2 store ports)"
+	twoStores.Ports = append(twoStores.Ports, "SD2")
+	twoStores.StoreDataPorts |= 1 << uint(len(twoStores.Ports)-1)
+	twoStores.StoreAGUPorts |= 1 << uint(twoStores.PortIndex("AGU1"))
+
+	// Variant 2: full 512-bit datapath — 512-bit entries become single
+	// µ-ops (drop the double-pumping) and wide loads/stores pass whole.
+	native512 := clone(base)
+	native512.Key = "zen4+512"
+	native512.Name = "Zen 4 (hypothetical: native 512-bit)"
+	native512.VecWidth = 512
+	native512.LoadWidthBits = 512
+	native512.StoreWidthBits = 512
+	for i := range native512.Entries {
+		e := &native512.Entries[i]
+		if e.Width == 512 && len(e.Uops) == 2 && e.Uops[0].Ports == e.Uops[1].Ports {
+			e.Uops = e.Uops[:1]
+		}
+	}
+
+	an := core.New()
+	for _, kname := range []string{"striad", "j3d27", "init"} {
+		k, err := kernels.ByName(kname)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := kernels.Config{Arch: "zen4", Compiler: kernels.GCC, Opt: kernels.Ofast}
+		b, err := kernels.Generate(k, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		elems := kernels.ElemsPerIter(k, cfg)
+		fmt.Printf("%s (%s), %d elements/iteration:\n", kname, k.Doc, elems)
+		baseCy := 0.0
+		for _, m := range []*uarch.Model{base, twoStores, native512} {
+			res, err := an.Analyze(b, m)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cpe := res.Prediction / float64(elems)
+			note := ""
+			if m == base {
+				baseCy = cpe
+			} else {
+				note = fmt.Sprintf("  (%+.0f%%)", 100*(baseCy/cpe-1))
+			}
+			fmt.Printf("  %-42s %6.3f cy/elem  [%s bound]%s\n", m.Name, cpe, res.Bound, note)
+		}
+		fmt.Println()
+	}
+	fmt.Println("The second store port pays off exactly where Table II predicts —")
+	fmt.Println("store-limited streams — while the 512-bit datapath helps the")
+	fmt.Println("µ-op-count-limited (frontend-bound) kernels.")
+}

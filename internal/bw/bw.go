@@ -1,0 +1,83 @@
+// Package bw implements the node-level memory bandwidth benchmark used
+// for Table I's "measured bandwidth" row: a STREAM-triad-shaped workload
+// swept across core counts on the memsim substrate, reporting the
+// saturated useful bandwidth.
+package bw
+
+import (
+	"fmt"
+
+	"incore/internal/memsim"
+	"incore/internal/nodes"
+)
+
+// Point is one core-count sample of the scaling curve.
+type Point struct {
+	Cores     int
+	UsefulGBs float64
+	// TrafficGBs includes write-allocate overhead.
+	TrafficGBs float64
+}
+
+// Result is a full scaling run for one node.
+type Result struct {
+	Key    string
+	Points []Point
+	// PeakGBs is the maximum useful bandwidth over the sweep.
+	PeakGBs float64
+	// TheoreticalGBs is the pin-limit bandwidth.
+	TheoreticalGBs float64
+}
+
+// Efficiency is measured/theoretical.
+func (r *Result) Efficiency() float64 {
+	if r.TheoreticalGBs == 0 {
+		return 0
+	}
+	return r.PeakGBs / r.TheoreticalGBs
+}
+
+// linesPerCore keeps the run fast while staying far above the scaled
+// cache capacity.
+const linesPerCore = 8192
+
+// MeasureTriad sweeps the triad benchmark over core counts. NT stores are
+// used on the x86 systems (the STREAM convention with streaming stores);
+// Grace's automatic claim achieves the same with standard stores.
+func MeasureTriad(key string, counts []int) (*Result, error) {
+	n, err := nodes.Get(key)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := memsim.ConfigFor(key)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := memsim.NewSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	nt := key != "neoversev2"
+	res := &Result{Key: key, TheoreticalGBs: n.TheoreticalBandwidthGBs()}
+	for _, c := range counts {
+		tr, err := sys.RunTriad(c, linesPerCore, nt)
+		if err != nil {
+			return nil, fmt.Errorf("bw: %s at %d cores: %w", key, c, err)
+		}
+		p := Point{Cores: c, UsefulGBs: tr.UsefulGBs(), TrafficGBs: tr.TrafficGBs()}
+		res.Points = append(res.Points, p)
+		if p.UsefulGBs > res.PeakGBs {
+			res.PeakGBs = p.UsefulGBs
+		}
+	}
+	return res, nil
+}
+
+// MeasureNode runs the default sweep for a node.
+func MeasureNode(key string) (*Result, error) {
+	n, err := nodes.Get(key)
+	if err != nil {
+		return nil, err
+	}
+	return MeasureTriad(key, memsim.DefaultCounts(n.Cores))
+}

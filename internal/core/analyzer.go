@@ -1,0 +1,156 @@
+// Package core implements the paper's primary contribution: an OSACA-style
+// in-core performance model. Given an assembly block and a machine model
+// it computes
+//
+//   - the optimal port-pressure throughput bound (perfectly balanced
+//     µ-op-to-port assignment),
+//   - the frontend issue bound,
+//   - the critical path through one iteration, and
+//   - the longest loop-carried dependency (LCD) chain,
+//
+// and combines them into an optimistic lower-bound runtime prediction in
+// cycles per block iteration: max(port bound, issue bound, LCD).
+//
+// The prediction is a *lower bound* by construction: a real out-of-order
+// core cannot beat perfect port balancing, cannot exceed its issue width,
+// and cannot overtake true dataflow. (Two deliberate exceptions where real
+// hardware can beat the tables are reproduced and discussed in the paper:
+// FMA accumulator forwarding on Neoverse V2 and the Zen 4 divider early
+// exit; see internal/sim.)
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"incore/internal/depgraph"
+	"incore/internal/isa"
+	"incore/internal/uarch"
+)
+
+// InstrReport is the per-instruction line of an analysis report.
+type InstrReport struct {
+	Index    int
+	Text     string
+	Uops     int
+	Lat      int
+	TotalLat int
+	// Throughput is the instruction's isolated reciprocal throughput.
+	Throughput float64
+	// PortLoads is the heuristic per-port share of this instruction
+	// (cycles), aligned with Model.Ports.
+	PortLoads []float64
+}
+
+// Result is a complete in-core analysis of one block.
+type Result struct {
+	Block *isa.Block
+	Model *uarch.Model
+
+	// PortPressure is the heuristic per-port load (cycles/iteration).
+	PortPressure []float64
+	// TPBound is the exact optimal max-port-load bound.
+	TPBound float64
+	// GreedyTPBound is the bound a greedy (non-balancing) scheduler
+	// achieves; exposed for the ablation study.
+	GreedyTPBound float64
+	// IssueBound is total µ-ops / issue width.
+	IssueBound float64
+	// CriticalPath is the longest dataflow path through one iteration;
+	// CPPath lists the instruction indices on it in program order.
+	CriticalPath float64
+	CPPath       []int
+	// LCD is the dominant loop-carried dependency chain.
+	LCD depgraph.LCDResult
+	// Prediction is the lower-bound cycles per iteration.
+	Prediction float64
+	// Bound names the binding constraint ("port", "issue", "lcd").
+	Bound string
+
+	Instrs []InstrReport
+	// TotalUops counts µ-ops per iteration.
+	TotalUops int
+}
+
+// Analyzer holds analysis options.
+type Analyzer struct {
+	// Opt controls dependency-graph construction.
+	Opt depgraph.Options
+}
+
+// New returns an analyzer with OSACA-like defaults (ideal renaming,
+// memory-carried dependencies within one cache line).
+func New() *Analyzer {
+	return &Analyzer{Opt: depgraph.DefaultOptions()}
+}
+
+// Analyze runs the in-core model for block b on machine model m.
+func (a *Analyzer) Analyze(b *isa.Block, m *uarch.Model) (*Result, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	g, err := depgraph.New(b, m, a.Opt)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Block: b, Model: m}
+	var jobs []balanceJob
+	for i := range b.Instrs {
+		d := g.Nodes[i].Desc
+		ir := InstrReport{
+			Index:      i,
+			Text:       b.Instrs[i].String(),
+			Uops:       d.UopCount(),
+			Lat:        d.Lat,
+			TotalLat:   d.TotalLat,
+			Throughput: d.ThroughputCycles(),
+		}
+		instrJobs := make([]balanceJob, 0, len(d.Uops))
+		for _, u := range d.Uops {
+			j := balanceJob{Mask: u.Ports, Cycles: u.Cycles}
+			jobs = append(jobs, j)
+			instrJobs = append(instrJobs, j)
+		}
+		ir.PortLoads = HeuristicAssignment(instrJobs, len(m.Ports))
+		res.TotalUops += d.UopCount()
+		res.Instrs = append(res.Instrs, ir)
+	}
+
+	res.PortPressure = HeuristicAssignment(jobs, len(m.Ports))
+	res.TPBound = OptimalPortBound(jobs)
+	res.GreedyTPBound = GreedyPortBound(jobs, len(m.Ports))
+	res.IssueBound = float64(res.TotalUops) / float64(m.IssueWidth)
+	res.CriticalPath, res.CPPath = g.CriticalPathDetail()
+	res.LCD = g.LoopCarried(-1)
+
+	res.Prediction = math.Max(res.TPBound, res.IssueBound)
+	res.Bound = "port"
+	if res.IssueBound > res.TPBound {
+		res.Bound = "issue"
+	}
+	if res.LCD.Cycles > res.Prediction {
+		res.Prediction = res.LCD.Cycles
+		res.Bound = "lcd"
+	}
+	return res, nil
+}
+
+// Predict is a convenience wrapper returning only the predicted cycles per
+// iteration.
+func (a *Analyzer) Predict(b *isa.Block, m *uarch.Model) (float64, error) {
+	r, err := a.Analyze(b, m)
+	if err != nil {
+		return 0, err
+	}
+	return r.Prediction, nil
+}
+
+// CyclesPerElement converts a per-iteration prediction into cycles per
+// scalar element given how many elements one block iteration processes.
+func CyclesPerElement(cyclesPerIter float64, elemsPerIter int) (float64, error) {
+	if elemsPerIter <= 0 {
+		return 0, fmt.Errorf("core: elemsPerIter must be positive, got %d", elemsPerIter)
+	}
+	return cyclesPerIter / float64(elemsPerIter), nil
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"math"
+
+	"incore/internal/uarch"
+)
+
+// balanceJob is one µ-op's worth of port work: Cycles of occupancy that may
+// be split arbitrarily across the ports in Mask.
+type balanceJob struct {
+	Mask   uarch.PortMask
+	Cycles float64
+}
+
+// OptimalPortBound computes the exact minimum achievable maximum port load
+// (in cycles) for a set of splittable µ-ops with port restrictions.
+//
+// For splittable jobs under restricted assignment the optimum equals
+//
+//	max over port sets S of  demand(S) / |S|
+//
+// where demand(S) is the total work of jobs whose candidate set is
+// contained in S, and the maximizing S can be chosen as a union of job
+// candidate sets. The number of distinct candidate sets in a real machine
+// model is small, so enumerating all unions is cheap and exact.
+func OptimalPortBound(jobs []balanceJob) float64 {
+	// Collect distinct masks and aggregate their work.
+	work := map[uarch.PortMask]float64{}
+	for _, j := range jobs {
+		if j.Mask == 0 || j.Cycles <= 0 {
+			continue
+		}
+		work[j.Mask] += j.Cycles
+	}
+	if len(work) == 0 {
+		return 0
+	}
+	masks := make([]uarch.PortMask, 0, len(work))
+	for m := range work {
+		masks = append(masks, m)
+	}
+	// Enumerate unions of subsets of distinct masks.
+	seen := map[uarch.PortMask]bool{}
+	best := 0.0
+	n := len(masks)
+	if n > 20 {
+		// Defensive fallback: proportional heuristic (not expected with
+		// realistic models, which have ~10 distinct masks).
+		loads := HeuristicAssignment(jobs, 32)
+		for _, l := range loads {
+			best = math.Max(best, l)
+		}
+		return best
+	}
+	for bits := 1; bits < 1<<uint(n); bits++ {
+		var s uarch.PortMask
+		for i := 0; i < n; i++ {
+			if bits&(1<<uint(i)) != 0 {
+				s |= masks[i]
+			}
+		}
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		demand := 0.0
+		for m, c := range work {
+			if m&^s == 0 {
+				demand += c
+			}
+		}
+		if v := demand / float64(s.Count()); v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// HeuristicAssignment distributes µ-op cycles across ports with an
+// iterative proportional water-filling heuristic and returns the per-port
+// load vector. It is used for the per-port pressure *report*; the bound
+// itself comes from OptimalPortBound. nPorts caps the port index range.
+func HeuristicAssignment(jobs []balanceJob, nPorts int) []float64 {
+	loads := make([]float64, nPorts)
+	// shares[j][p]: current split of job j.
+	shares := make([][]float64, len(jobs))
+	for j, job := range jobs {
+		ports := job.Mask.Indices()
+		shares[j] = make([]float64, len(ports))
+		for k := range ports {
+			shares[j][k] = job.Cycles / float64(len(ports))
+		}
+	}
+	const iters = 64
+	for it := 0; it < iters; it++ {
+		for i := range loads {
+			loads[i] = 0
+		}
+		for j, job := range jobs {
+			for k, p := range job.Mask.Indices() {
+				loads[p] += shares[j][k]
+			}
+		}
+		// Rebalance each job toward less-loaded ports.
+		for j, job := range jobs {
+			ports := job.Mask.Indices()
+			if len(ports) <= 1 {
+				continue
+			}
+			// Remove this job's contribution.
+			for k, p := range ports {
+				loads[p] -= shares[j][k]
+			}
+			// Redistribute: weight inversely with residual load.
+			weights := make([]float64, len(ports))
+			sum := 0.0
+			for k, p := range ports {
+				w := 1.0 / (loads[p] + 0.05)
+				weights[k] = w
+				sum += w
+			}
+			for k, p := range ports {
+				shares[j][k] = job.Cycles * weights[k] / sum
+				loads[p] += shares[j][k]
+			}
+		}
+	}
+	return loads
+}
+
+// GreedyPortBound assigns each µ-op entirely to the currently
+// least-loaded candidate port in instruction order (no splitting, no
+// lookahead) and returns the resulting maximum port load. This mirrors
+// what a naive scheduler model (and the hardware's oldest-first pickers)
+// achieves and is exposed for the ablation study of the port-balancing
+// design choice (DESIGN.md #1).
+func GreedyPortBound(jobs []balanceJob, nPorts int) float64 {
+	loads := make([]float64, nPorts)
+	for _, job := range jobs {
+		bestPort, bestLoad := -1, math.Inf(1)
+		for _, p := range job.Mask.Indices() {
+			if loads[p] < bestLoad {
+				bestPort, bestLoad = p, loads[p]
+			}
+		}
+		if bestPort >= 0 {
+			loads[bestPort] += job.Cycles
+		}
+	}
+	max := 0.0
+	for _, l := range loads {
+		max = math.Max(max, l)
+	}
+	return max
+}

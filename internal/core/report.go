@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Report renders an OSACA-style text report of the analysis: one line per
+// instruction with µ-op count, latency and per-port pressure, followed by
+// the combined bounds and the binding constraint.
+func (r *Result) Report() string {
+	var sb strings.Builder
+	m := r.Model
+	fmt.Fprintf(&sb, "In-core analysis: %s on %s (%s)\n", r.Block.Name, m.Name, m.CPU)
+	onCP := map[int]bool{}
+	for _, i := range r.CPPath {
+		onCP[i] = true
+	}
+	onLCD := map[int]bool{}
+	for _, i := range r.LCD.Path {
+		onLCD[i] = true
+	}
+	fmt.Fprintf(&sb, "%-4s %-2s %-2s %-38s %5s %4s %5s", "idx", "CP", "LC", "instruction", "uops", "lat", "tp")
+	for _, p := range m.Ports {
+		fmt.Fprintf(&sb, " %5s", p)
+	}
+	sb.WriteByte('\n')
+	for _, ir := range r.Instrs {
+		text := ir.Text
+		if len(text) > 38 {
+			text = text[:35] + "..."
+		}
+		cp, lc := "", ""
+		if onCP[ir.Index] {
+			cp = "X"
+		}
+		if onLCD[ir.Index] {
+			lc = "X"
+		}
+		fmt.Fprintf(&sb, "%-4d %-2s %-2s %-38s %5d %4d %5.2f", ir.Index, cp, lc, text, ir.Uops, ir.TotalLat, ir.Throughput)
+		for p := range m.Ports {
+			v := 0.0
+			if p < len(ir.PortLoads) {
+				v = ir.PortLoads[p]
+			}
+			if v < 0.005 {
+				fmt.Fprintf(&sb, " %5s", "")
+			} else {
+				fmt.Fprintf(&sb, " %5.2f", v)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	fmt.Fprintf(&sb, "%-60s", "port pressure (cycles/iteration):")
+	for p := range m.Ports {
+		fmt.Fprintf(&sb, " %5.2f", r.PortPressure[p])
+	}
+	sb.WriteByte('\n')
+	fmt.Fprintf(&sb, "throughput bound : %7.2f cy/it (optimal balancing; greedy would give %.2f)\n", r.TPBound, r.GreedyTPBound)
+	fmt.Fprintf(&sb, "issue bound      : %7.2f cy/it (%d µ-ops / issue width %d)\n", r.IssueBound, r.TotalUops, m.IssueWidth)
+	fmt.Fprintf(&sb, "critical path    : %7.2f cy\n", r.CriticalPath)
+	fmt.Fprintf(&sb, "loop-carried dep : %7.2f cy/it", r.LCD.Cycles)
+	if len(r.LCD.Path) > 0 {
+		fmt.Fprintf(&sb, " (via instrs %v)", r.LCD.Path)
+	}
+	sb.WriteByte('\n')
+	fmt.Fprintf(&sb, "prediction       : %7.2f cy/it  [%s bound]\n", r.Prediction, r.Bound)
+	return sb.String()
+}

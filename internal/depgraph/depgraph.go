@@ -1,0 +1,482 @@
+// Package depgraph builds register/memory dependency graphs over an
+// instruction block and extracts the two dataflow quantities the in-core
+// model needs: the critical path through one loop iteration and the
+// longest loop-carried dependency (LCD) cycle.
+//
+// The graph is built for the steady state of an infinitely repeated block:
+// edges are classified as intra-iteration or loop-carried (producer in
+// iteration i, consumer in iteration i+1).
+package depgraph
+
+import (
+	"fmt"
+	"strings"
+
+	"incore/internal/isa"
+	"incore/internal/uarch"
+)
+
+// EdgeKind classifies dependency edges.
+type EdgeKind int
+
+const (
+	// EdgeRAW is a true register read-after-write dependency.
+	EdgeRAW EdgeKind = iota
+	// EdgeWAW is a register write-after-write (false) dependency.
+	EdgeWAW
+	// EdgeWAR is a register write-after-read (false) dependency.
+	EdgeWAR
+	// EdgeMem is a store-to-load memory dependency.
+	EdgeMem
+)
+
+// String names the edge kind.
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeRAW:
+		return "RAW"
+	case EdgeWAW:
+		return "WAW"
+	case EdgeWAR:
+		return "WAR"
+	case EdgeMem:
+		return "MEM"
+	default:
+		return fmt.Sprintf("EdgeKind(%d)", int(k))
+	}
+}
+
+// Edge is one dependency from instruction From to instruction To.
+type Edge struct {
+	From, To int
+	Kind     EdgeKind
+	// Carried marks a loop-carried edge (From in iteration i, To in
+	// iteration i+1).
+	Carried bool
+	// Lat is the latency in cycles charged along this edge.
+	Lat float64
+	// Reg is the register carrying the dependency (RAW/WAW/WAR).
+	Reg isa.RegKey
+	// ViaAccumulator marks RAW edges consumed as the accumulator operand
+	// of a fused multiply-add; some cores forward these with reduced
+	// latency (see sim).
+	ViaAccumulator bool
+}
+
+// Node is the per-instruction dependency-relevant summary.
+type Node struct {
+	Index int
+	Desc  uarch.Desc
+	Eff   isa.Effects
+}
+
+// Options tune graph construction.
+type Options struct {
+	// IncludeFalseDeps adds WAW/WAR edges (a machine without register
+	// renaming); the default models ideal renaming, matching OSACA.
+	IncludeFalseDeps bool
+	// MemCarriedWindow is the maximum |displacement delta| in bytes for
+	// which a store and a load off the same base/index registers are
+	// considered overlapping across iterations. Zero disables memory
+	// carried dependencies.
+	MemCarriedWindow int64
+	// StoreForwardLat is the total store-to-load-result latency charged
+	// across a forwarding edge plus the load itself; when zero,
+	// LoadLat + 2 is used (matching the simulator's forwarding model).
+	StoreForwardLat int
+}
+
+// DefaultOptions matches the analyzer's assumptions (ideal renaming,
+// memory-carried detection within one cache line).
+func DefaultOptions() Options {
+	return Options{MemCarriedWindow: 64}
+}
+
+// Graph is the dependency graph of one block against one machine model.
+type Graph struct {
+	Block *isa.Block
+	Model *uarch.Model
+	Nodes []Node
+	Edges []Edge
+	// out[i] lists indices into Edges with From == i.
+	out [][]int
+}
+
+// New builds the dependency graph. Every instruction must resolve against
+// the model.
+func New(b *isa.Block, m *uarch.Model, opt Options) (*Graph, error) {
+	g := &Graph{Block: b, Model: m}
+	g.Nodes = make([]Node, len(b.Instrs))
+	for i := range b.Instrs {
+		in := &b.Instrs[i]
+		d, err := m.Lookup(in)
+		if err != nil {
+			return nil, fmt.Errorf("depgraph: block %s: instr %d (%s): %w", b.Name, i, in.Mnemonic, err)
+		}
+		g.Nodes[i] = Node{Index: i, Desc: d, Eff: isa.InstrEffects(in, m.Dialect)}
+	}
+	g.buildRegEdges(opt)
+	g.buildMemEdges(opt)
+	g.out = make([][]int, len(g.Nodes))
+	for ei := range g.Edges {
+		e := &g.Edges[ei]
+		g.out[e.From] = append(g.out[e.From], ei)
+	}
+	return g, nil
+}
+
+// accumulatorKey returns the register a fused multiply-add reads as its
+// accumulator, if the instruction is an FMA.
+func accumulatorKey(in *isa.Instruction, d isa.Dialect) (isa.RegKey, bool) {
+	m := in.Mnemonic
+	isFMA := strings.HasPrefix(m, "vfma") || strings.HasPrefix(m, "vfnma") ||
+		strings.HasPrefix(m, "vfms") || m == "fmla" || m == "fmls" ||
+		m == "fmadd" || m == "fmsub" || m == "fnmadd" || m == "fnmsub"
+	if !isFMA || len(in.Operands) == 0 {
+		return isa.RegKey{}, false
+	}
+	if d == isa.DialectX86 {
+		// AT&T: destination (and accumulator for the 231 form) is last.
+		op := in.Operands[len(in.Operands)-1]
+		if op.Kind == isa.OpReg {
+			return op.Reg.Key(), true
+		}
+		return isa.RegKey{}, false
+	}
+	// AArch64: fmla vd, vn, vm accumulates into vd (operand 0);
+	// fmadd rd, rn, rm, ra accumulates ra (operand 3).
+	if m == "fmadd" || m == "fmsub" || m == "fnmadd" || m == "fnmsub" {
+		if len(in.Operands) >= 4 && in.Operands[3].Kind == isa.OpReg {
+			return in.Operands[3].Reg.Key(), true
+		}
+		return isa.RegKey{}, false
+	}
+	if in.Operands[0].Kind == isa.OpReg {
+		return in.Operands[0].Reg.Key(), true
+	}
+	return isa.RegKey{}, false
+}
+
+func (g *Graph) buildRegEdges(opt Options) {
+	n := len(g.Nodes)
+	// lastWriter[k] = index of the most recent writer of k in program
+	// order; simulate two consecutive iterations to find carried edges.
+	type access struct {
+		idx  int
+		iter int
+	}
+	lastWriter := map[isa.RegKey]access{}
+	lastReaders := map[isa.RegKey][]access{}
+
+	addRAW := func(from access, to access, key isa.RegKey) {
+		if from.iter == 1 && to.iter == 1 {
+			return // duplicate of the 0->0 intra edge
+		}
+		carried := from.iter != to.iter
+		if from.iter == 0 && to.iter == 0 {
+			carried = false
+		}
+		// Only keep iteration-0 sourced edges and 0->1 carried edges.
+		if from.iter > to.iter {
+			return
+		}
+		consumer := &g.Block.Instrs[to.idx]
+		acc, isAcc := accumulatorKey(consumer, g.Model.Dialect)
+		lat := chainLat(&g.Nodes[from.idx].Desc)
+		g.Edges = append(g.Edges, Edge{
+			From: from.idx, To: to.idx, Kind: EdgeRAW, Carried: carried,
+			Lat: lat, Reg: key, ViaAccumulator: isAcc && acc == key,
+		})
+	}
+
+	for iter := 0; iter < 2; iter++ {
+		for i := 0; i < n; i++ {
+			node := &g.Nodes[i]
+			cur := access{idx: i, iter: iter}
+			for _, r := range node.Eff.Reads {
+				if w, ok := lastWriter[r]; ok {
+					if !(w.iter == iter && w.idx == i) {
+						addRAW(w, cur, r)
+					}
+				}
+				lastReaders[r] = append(lastReaders[r], cur)
+			}
+			for _, w := range node.Eff.Writes {
+				if opt.IncludeFalseDeps {
+					if pw, ok := lastWriter[w]; ok && !(pw.iter == 1 && iter == 1) && pw.iter <= iter {
+						g.Edges = append(g.Edges, Edge{
+							From: pw.idx, To: i, Kind: EdgeWAW,
+							Carried: pw.iter != iter, Lat: 1, Reg: w,
+						})
+					}
+					for _, rd := range lastReaders[w] {
+						if rd.idx == i && rd.iter == iter {
+							continue
+						}
+						if rd.iter == 1 && iter == 1 {
+							continue
+						}
+						if rd.iter <= iter {
+							g.Edges = append(g.Edges, Edge{
+								From: rd.idx, To: i, Kind: EdgeWAR,
+								Carried: rd.iter != iter, Lat: 1, Reg: w,
+							})
+						}
+					}
+				}
+				lastWriter[w] = access{idx: i, iter: iter}
+				lastReaders[w] = nil
+			}
+		}
+	}
+	g.dedupeEdges()
+}
+
+func (g *Graph) dedupeEdges() {
+	type ek struct {
+		from, to int
+		kind     EdgeKind
+		carried  bool
+		reg      isa.RegKey
+	}
+	seen := map[ek]bool{}
+	var out []Edge
+	for _, e := range g.Edges {
+		k := ek{e.From, e.To, e.Kind, e.Carried, e.Reg}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, e)
+	}
+	g.Edges = out
+}
+
+// chainLat is the latency a producer contributes along a register
+// dependency chain. For instructions with folded memory sources the load
+// part is pipelined off the address stream and does not serialize register
+// chains, so only the compute latency counts; pure loads contribute their
+// full load-to-use latency.
+func chainLat(d *uarch.Desc) float64 {
+	if d.Lat > 0 {
+		return float64(d.Lat)
+	}
+	return float64(d.TotalLat)
+}
+
+// buildMemEdges adds store→load RAW dependencies over the same address
+// stream (same base and index registers). Direction matters for a loop
+// whose index advances monotonically: with store displacement S and load
+// displacement L, a later iteration's load re-reads a stored location only
+// if S - L > 0 (the store runs ahead of the load in address space); equal
+// displacements alias within one iteration when the store precedes the
+// load in program order.
+func (g *Graph) buildMemEdges(opt Options) {
+	if opt.MemCarriedWindow == 0 {
+		return
+	}
+	fwd := opt.StoreForwardLat
+	if fwd == 0 {
+		fwd = g.Model.LoadLat + 2
+	}
+	sameStream := func(a, b *isa.MemOp) bool {
+		if !a.Base.Valid() || !b.Base.Valid() {
+			return false
+		}
+		if a.Base.Key() != b.Base.Key() {
+			return false
+		}
+		ai, bi := a.Index.Valid(), b.Index.Valid()
+		if ai != bi {
+			return false
+		}
+		if ai && a.Index.Key() != b.Index.Key() {
+			return false
+		}
+		return true
+	}
+	for si := range g.Nodes {
+		for _, st := range g.Nodes[si].Eff.StoreOps {
+			for li := range g.Nodes {
+				for _, ld := range g.Nodes[li].Eff.LoadOps {
+					if !sameStream(st, ld) {
+						continue
+					}
+					// The edge latency excludes the load's own chain
+					// latency (charged by the load's outgoing edges), so
+					// the total store→load-result cost equals fwd.
+					edgeLat := float64(fwd) - chainLat(&g.Nodes[li].Desc)
+					if edgeLat < 1 {
+						edgeLat = 1
+					}
+					delta := st.Disp - ld.Disp
+					switch {
+					case delta == 0 && si < li:
+						g.Edges = append(g.Edges, Edge{
+							From: si, To: li, Kind: EdgeMem,
+							Lat: edgeLat,
+						})
+					case delta > 0 && delta <= opt.MemCarriedWindow:
+						g.Edges = append(g.Edges, Edge{
+							From: si, To: li, Kind: EdgeMem, Carried: true,
+							Lat: edgeLat,
+						})
+					}
+				}
+			}
+		}
+	}
+}
+
+// CriticalPath returns the longest latency path through one iteration,
+// considering only intra-iteration edges (cycles are impossible within one
+// iteration of straight-line code).
+func (g *Graph) CriticalPath() float64 {
+	cp, _ := g.CriticalPathDetail()
+	return cp
+}
+
+// CriticalPathDetail additionally returns the instruction indices on the
+// critical path in program order (the OSACA report's CP column).
+func (g *Graph) CriticalPathDetail() (float64, []int) {
+	n := len(g.Nodes)
+	// dist[i] = longest path ending at i, including i's own latency.
+	dist := make([]float64, n)
+	prev := make([]int, n)
+	for i := range prev {
+		prev[i] = -1
+	}
+	best, bestEnd := 0.0, -1
+	for i := 0; i < n; i++ {
+		self := float64(g.Nodes[i].Desc.TotalLat)
+		if dist[i] < self {
+			dist[i] = self
+		}
+		if dist[i] > best {
+			best, bestEnd = dist[i], i
+		}
+		for _, ei := range g.out[i] {
+			e := &g.Edges[ei]
+			if e.Carried || e.To <= i {
+				continue
+			}
+			if d := dist[i] + float64(g.Nodes[e.To].Desc.TotalLat); d > dist[e.To] {
+				dist[e.To] = d
+				prev[e.To] = i
+			}
+		}
+	}
+	var path []int
+	for v := bestEnd; v >= 0; v = prev[v] {
+		path = append(path, v)
+	}
+	for l, r := 0, len(path)-1; l < r; l, r = l+1, r-1 {
+		path[l], path[r] = path[r], path[l]
+	}
+	return best, path
+}
+
+// LCDResult describes the dominant loop-carried dependency.
+type LCDResult struct {
+	// Cycles is the latency of the longest carried cycle per iteration.
+	Cycles float64
+	// Path lists the instruction indices on the dominant cycle, starting
+	// at the carried edge's target.
+	Path []int
+	// ViaAccumulator is true when every latency-bearing edge on the
+	// cycle is an FMA accumulator edge (candidates for accumulator
+	// forwarding on Neoverse V2).
+	ViaAccumulator bool
+}
+
+// LoopCarried computes the longest loop-carried dependency cycle,
+// i.e. the steady-state minimum initiation interval due to dataflow.
+//
+// AccLatOverride, when non-negative, replaces the latency of RAW
+// accumulator edges (used to model accumulator forwarding); pass -1 for
+// table latencies.
+func (g *Graph) LoopCarried(accLatOverride float64) LCDResult {
+	best := LCDResult{}
+	for ei := range g.Edges {
+		e := &g.Edges[ei]
+		if !e.Carried {
+			continue
+		}
+		// Longest path from e.To to e.From using intra-iteration edges,
+		// then close the cycle with e.
+		lat, path := g.longestPathBetween(e.To, e.From, accLatOverride)
+		if lat < 0 {
+			continue // e.From not reachable from e.To
+		}
+		closeLat := e.Lat
+		if accLatOverride >= 0 && e.Kind == EdgeRAW && e.ViaAccumulator {
+			closeLat = accLatOverride
+		}
+		total := lat + closeLat
+		if total > best.Cycles {
+			best = LCDResult{Cycles: total, Path: path, ViaAccumulator: e.Kind == EdgeRAW && e.ViaAccumulator}
+		}
+	}
+	return best
+}
+
+// longestPathBetween returns the longest latency path from src to dst using
+// only intra-iteration edges, where path latency is the sum of edge
+// latencies (edge latency = producer latency). Returns -1 when dst is
+// unreachable; a zero-length path (src == dst) has latency 0.
+func (g *Graph) longestPathBetween(src, dst int, accLatOverride float64) (float64, []int) {
+	n := len(g.Nodes)
+	const unreach = -1.0
+	dist := make([]float64, n)
+	prev := make([]int, n)
+	for i := range dist {
+		dist[i] = unreach
+		prev[i] = -1
+	}
+	dist[src] = 0
+	for i := 0; i < n; i++ {
+		if dist[i] == unreach {
+			continue
+		}
+		for _, ei := range g.out[i] {
+			e := &g.Edges[ei]
+			if e.Carried || e.To <= i {
+				continue
+			}
+			lat := e.Lat
+			if accLatOverride >= 0 && e.Kind == EdgeRAW && e.ViaAccumulator {
+				lat = accLatOverride
+			}
+			if d := dist[i] + lat; d > dist[e.To] {
+				dist[e.To] = d
+				prev[e.To] = i
+			}
+		}
+	}
+	if dist[dst] == unreach {
+		return -1, nil
+	}
+	var path []int
+	for v := dst; v != -1; v = prev[v] {
+		path = append(path, v)
+		if v == src {
+			break
+		}
+	}
+	// Reverse.
+	for l, r := 0, len(path)-1; l < r; l, r = l+1, r-1 {
+		path[l], path[r] = path[r], path[l]
+	}
+	return dist[dst], path
+}
+
+// CarriedEdges returns the loop-carried edges (for reporting and tests).
+func (g *Graph) CarriedEdges() []Edge {
+	var out []Edge
+	for _, e := range g.Edges {
+		if e.Carried {
+			out = append(out, e)
+		}
+	}
+	return out
+}

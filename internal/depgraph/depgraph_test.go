@@ -1,0 +1,275 @@
+package depgraph
+
+import (
+	"testing"
+
+	"incore/internal/isa"
+	"incore/internal/uarch"
+)
+
+func mustGraph(t *testing.T, arch, src string, opt Options) *Graph {
+	t.Helper()
+	m := uarch.MustGet(arch)
+	b, err := isa.ParseBlock("t", arch, m.Dialect, src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	g, err := New(b, m, opt)
+	if err != nil {
+		t.Fatalf("graph: %v", err)
+	}
+	return g
+}
+
+func TestEdgeKindString(t *testing.T) {
+	for k, want := range map[EdgeKind]string{EdgeRAW: "RAW", EdgeWAW: "WAW", EdgeWAR: "WAR", EdgeMem: "MEM"} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+}
+
+func TestIntraIterationRAW(t *testing.T) {
+	g := mustGraph(t, "goldencove", `
+	vmovupd (%rsi), %ymm0
+	vaddpd %ymm0, %ymm1, %ymm2
+	vmovupd %ymm2, (%rdi)
+`, DefaultOptions())
+	// Edge 0 -> 1 through ymm0 and 1 -> 2 through ymm2 (store data).
+	var saw01, saw12 bool
+	for _, e := range g.Edges {
+		if e.From == 0 && e.To == 1 && e.Kind == EdgeRAW && !e.Carried {
+			saw01 = true
+		}
+		if e.From == 1 && e.To == 2 && e.Kind == EdgeRAW && !e.Carried {
+			saw12 = true
+		}
+	}
+	if !saw01 || !saw12 {
+		t.Errorf("missing RAW edges: %+v", g.Edges)
+	}
+}
+
+func TestLoopCarriedAccumulator(t *testing.T) {
+	// Sum reduction: carried fadd chain with latency 2 on V2.
+	g := mustGraph(t, "neoversev2", `
+	ldr d1, [x1, x3, lsl #3]
+	fadd d0, d0, d1
+	add x3, x3, #1
+	cmp x3, x4
+	b.ne .L0
+`, DefaultOptions())
+	lcd := g.LoopCarried(-1)
+	if lcd.Cycles != 2 {
+		t.Errorf("sum LCD = %.1f, want 2 (fadd latency)", lcd.Cycles)
+	}
+}
+
+func TestLoopCarriedChainGS(t *testing.T) {
+	// Gauss-Seidel register chain: fadd(2) + fmul(3) = 5 on V2.
+	g := mustGraph(t, "neoversev2", `
+	ldr d1, [x5]
+	ldr d2, [x6]
+	fadd d1, d1, d2
+	ldr d2, [x1, #8]
+	fadd d1, d1, d2
+	fadd d1, d1, d0
+	fmul d0, d1, d15
+	str d0, [x1]
+	add x1, x1, #8
+	add x5, x5, #8
+	add x6, x6, #8
+	cmp x1, x4
+	b.ne .L0
+`, DefaultOptions())
+	lcd := g.LoopCarried(-1)
+	if lcd.Cycles != 5 {
+		t.Errorf("GS LCD = %.1f, want 5 (fadd 2 + fmul 3)", lcd.Cycles)
+	}
+}
+
+func TestIndexChainIsCarried(t *testing.T) {
+	g := mustGraph(t, "goldencove", `
+	addq $8, %rax
+	cmpq %rbx, %rax
+	jne .L0
+`, DefaultOptions())
+	lcd := g.LoopCarried(-1)
+	if lcd.Cycles != 1 {
+		t.Errorf("index LCD = %.1f, want 1", lcd.Cycles)
+	}
+}
+
+func TestCriticalPathLongerThanLCD(t *testing.T) {
+	g := mustGraph(t, "goldencove", `
+	vmovupd (%rsi), %ymm0
+	vmulpd %ymm0, %ymm0, %ymm1
+	vmulpd %ymm1, %ymm1, %ymm2
+	vmovupd %ymm2, (%rdi)
+`, DefaultOptions())
+	cp := g.CriticalPath()
+	// load (7) + mul (4) + mul (4) = 15 at least.
+	if cp < 15 {
+		t.Errorf("critical path = %.1f, want >= 15", cp)
+	}
+}
+
+func TestFalseDepsOnlyWhenRequested(t *testing.T) {
+	src := `
+	vmovupd (%rsi), %ymm0
+	vmovupd %ymm0, (%rdi)
+	vmovupd 32(%rsi), %ymm0
+	vmovupd %ymm0, 32(%rdi)
+`
+	ideal := mustGraph(t, "goldencove", src, DefaultOptions())
+	for _, e := range ideal.Edges {
+		if e.Kind == EdgeWAW || e.Kind == EdgeWAR {
+			t.Errorf("false dep present with renaming: %+v", e)
+		}
+	}
+	opt := DefaultOptions()
+	opt.IncludeFalseDeps = true
+	noRename := mustGraph(t, "goldencove", src, opt)
+	var falseDeps int
+	for _, e := range noRename.Edges {
+		if e.Kind == EdgeWAW || e.Kind == EdgeWAR {
+			falseDeps++
+		}
+	}
+	if falseDeps == 0 {
+		t.Error("expected WAW/WAR edges with IncludeFalseDeps")
+	}
+}
+
+func TestMemCarriedDirection(t *testing.T) {
+	// Gauss-Seidel memory round trip: store (%rsi), load -8(%rsi):
+	// store.Disp - load.Disp = +8 -> carried RAW.
+	g := mustGraph(t, "goldencove", `
+	vmovsd -8(%rsi,%rax,8), %xmm1
+	vmulsd %xmm15, %xmm1, %xmm1
+	vmovsd %xmm1, (%rsi,%rax,8)
+	incq %rax
+	cmpq %rbx, %rax
+	jne .L0
+`, DefaultOptions())
+	var carried bool
+	for _, e := range g.Edges {
+		if e.Kind == EdgeMem && e.Carried {
+			carried = true
+		}
+	}
+	if !carried {
+		t.Error("expected carried memory edge for the GS round trip")
+	}
+	lcd := g.LoopCarried(-1)
+	// fwd total (LoadLat+2 = 9) + fmul (4) = 13.
+	if lcd.Cycles < 12 || lcd.Cycles > 14 {
+		t.Errorf("GS memory LCD = %.1f, want ~13", lcd.Cycles)
+	}
+}
+
+func TestMemForwardDirectionNegativeNoDep(t *testing.T) {
+	// Store at disp 0, load at disp +8 (load runs AHEAD of the store):
+	// never a RAW across iterations.
+	g := mustGraph(t, "goldencove", `
+	vmovsd 8(%rsi,%rax,8), %xmm1
+	vmulsd %xmm15, %xmm1, %xmm1
+	vmovsd %xmm1, (%rsi,%rax,8)
+	incq %rax
+	cmpq %rbx, %rax
+	jne .L0
+`, DefaultOptions())
+	for _, e := range g.Edges {
+		if e.Kind == EdgeMem {
+			t.Errorf("unexpected memory edge: %+v", e)
+		}
+	}
+}
+
+func TestIntraIterationMemDep(t *testing.T) {
+	// Store then load of the same address within one iteration.
+	g := mustGraph(t, "goldencove", `
+	vmovsd %xmm1, (%rsi,%rax,8)
+	vmovsd (%rsi,%rax,8), %xmm2
+	incq %rax
+	cmpq %rbx, %rax
+	jne .L0
+`, DefaultOptions())
+	var intra bool
+	for _, e := range g.Edges {
+		if e.Kind == EdgeMem && !e.Carried && e.From == 0 && e.To == 1 {
+			intra = true
+		}
+	}
+	if !intra {
+		t.Error("expected intra-iteration store->load edge")
+	}
+}
+
+func TestAccumulatorEdgeDetection(t *testing.T) {
+	g := mustGraph(t, "neoversev2", `
+	fmla v0.2d, v1.2d, v2.2d
+	b.ne .L0
+`, DefaultOptions())
+	var acc bool
+	for _, e := range g.Edges {
+		if e.Kind == EdgeRAW && e.Carried && e.ViaAccumulator {
+			acc = true
+		}
+	}
+	if !acc {
+		t.Error("fmla self-accumulation must be flagged ViaAccumulator")
+	}
+	lcd := g.LoopCarried(-1)
+	if lcd.Cycles != 4 {
+		t.Errorf("fmla chain LCD = %.1f, want 4", lcd.Cycles)
+	}
+	if !lcd.ViaAccumulator {
+		t.Error("LCD must be flagged as accumulator-carried")
+	}
+	// With accumulator-forwarding override the chain shrinks.
+	fwd := g.LoopCarried(2)
+	if fwd.Cycles != 2 {
+		t.Errorf("forwarded fmla chain = %.1f, want 2", fwd.Cycles)
+	}
+}
+
+func TestChainLatPipelinesFoldedLoads(t *testing.T) {
+	// Folded-load accumulation: the carried chain must cost only the add
+	// latency, not load+add.
+	g := mustGraph(t, "goldencove", `
+	vaddsd (%rsi,%rax,8), %xmm0, %xmm0
+	incq %rax
+	cmpq %rbx, %rax
+	jne .L0
+`, DefaultOptions())
+	lcd := g.LoopCarried(-1)
+	if lcd.Cycles != 2 {
+		t.Errorf("folded-load sum LCD = %.1f, want 2 (vaddsd latency only)", lcd.Cycles)
+	}
+}
+
+func TestCarriedEdges(t *testing.T) {
+	g := mustGraph(t, "goldencove", `
+	vaddsd %xmm1, %xmm0, %xmm0
+	jne .L0
+`, DefaultOptions())
+	ce := g.CarriedEdges()
+	if len(ce) == 0 {
+		t.Fatal("expected carried edges")
+	}
+	for _, e := range ce {
+		if !e.Carried {
+			t.Error("CarriedEdges returned a non-carried edge")
+		}
+	}
+}
+
+func TestUnknownInstructionErrors(t *testing.T) {
+	m := uarch.MustGet("zen4")
+	b := &isa.Block{Name: "x", Arch: "zen4", Dialect: m.Dialect,
+		Instrs: []isa.Instruction{{Mnemonic: "bogus"}}}
+	if _, err := New(b, m, DefaultOptions()); err == nil {
+		t.Error("unknown instruction must fail graph construction")
+	}
+}

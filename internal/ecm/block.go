@@ -1,0 +1,46 @@
+package ecm
+
+import (
+	"incore/internal/isa"
+)
+
+// TrafficForBlock derives per-cache-line traffic from an assembly block by
+// counting its distinct memory streams: memory operands sharing base and
+// index registers belong to one stream (stencil neighbor offsets hit the
+// cache and cost no extra traffic). Each load stream moves one 64-byte
+// line per line of work; stores are scaled by waFactor.
+//
+// elemsPerIter converts the per-iteration stream counts to per-cache-line
+// volumes; in-place update streams (load+store on the same base) count
+// once for each direction.
+func TrafficForBlock(b *isa.Block, d isa.Dialect, waFactor float64) Traffic {
+	type streamKey struct {
+		base, index isa.RegKey
+	}
+	loadStreams := map[streamKey]bool{}
+	storeStreams := map[streamKey]bool{}
+	keyOf := func(m *isa.MemOp) streamKey {
+		var k streamKey
+		if m.Base.Valid() {
+			k.base = m.Base.Key()
+		}
+		if m.Index.Valid() {
+			k.index = m.Index.Key()
+		}
+		return k
+	}
+	for i := range b.Instrs {
+		eff := isa.InstrEffects(&b.Instrs[i], d)
+		for _, m := range eff.LoadOps {
+			loadStreams[keyOf(m)] = true
+		}
+		for _, m := range eff.StoreOps {
+			storeStreams[keyOf(m)] = true
+		}
+	}
+	return Traffic{
+		LoadBytes:  64 * float64(len(loadStreams)),
+		StoreBytes: 64 * float64(len(storeStreams)),
+		WAFactor:   waFactor,
+	}
+}

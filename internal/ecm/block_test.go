@@ -1,0 +1,70 @@
+package ecm
+
+import (
+	"testing"
+
+	"incore/internal/isa"
+	"incore/internal/kernels"
+	"incore/internal/uarch"
+)
+
+func TestTrafficForBlockTriad(t *testing.T) {
+	m := uarch.MustGet("goldencove")
+	src := `
+	vmovupd (%rsi,%rax,8), %zmm0
+	vfmadd231pd (%rdx,%rax,8), %zmm15, %zmm0
+	vmovupd %zmm0, (%rdi,%rax,8)
+	addq $8, %rax
+	cmpq %rbx, %rax
+	jne .L0
+`
+	b, err := isa.ParseBlock("triad", "goldencove", m.Dialect, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := TrafficForBlock(b, m.Dialect, 2)
+	if tr.LoadBytes != 128 {
+		t.Errorf("triad load streams: %f B, want 128 (2 streams)", tr.LoadBytes)
+	}
+	if tr.StoreBytes != 64 {
+		t.Errorf("triad store streams: %f B, want 64", tr.StoreBytes)
+	}
+}
+
+func TestTrafficForBlockStencilNeighborsShareStream(t *testing.T) {
+	// A 2D 5-point stencil has 4 loads but only 3 distinct streams
+	// (i±1 share the center row's base/index).
+	m := uarch.MustGet("goldencove")
+	k, err := kernels.ByName("j2d5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := kernels.Generate(k, kernels.Config{Arch: "goldencove", Compiler: kernels.GCC, Opt: kernels.O2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := TrafficForBlock(b, m.Dialect, 2)
+	if tr.LoadBytes != 3*64 {
+		t.Errorf("j2d5 load streams: %f B, want 192 (3 streams)", tr.LoadBytes)
+	}
+}
+
+func TestTrafficForBlockMatchesKernelDescriptors(t *testing.T) {
+	// For every generated variant, the block-derived stream counts must
+	// equal the kernel's declared stream counts (they are two routes to
+	// the same quantity).
+	full, err := kernels.FullSuite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tb := range full {
+		m := uarch.MustGet(tb.Config.Arch)
+		tr := TrafficForBlock(tb.Block, m.Dialect, 2)
+		wantLoads := float64(64 * tb.Kernel.LoadStreams)
+		wantStores := float64(64 * tb.Kernel.StoreStreams)
+		if tr.LoadBytes != wantLoads || tr.StoreBytes != wantStores {
+			t.Errorf("%s: streams loads=%.0f stores=%.0f, descriptor wants %.0f/%.0f",
+				tb.Block.Name, tr.LoadBytes/64, tr.StoreBytes/64, wantLoads/64, wantStores/64)
+		}
+	}
+}

@@ -1,0 +1,283 @@
+// Package ecm implements the Execution-Cache-Memory performance model —
+// the paper's stated future work ("we plan to continue these
+// investigations by applying our in-core model to a node-wide performance
+// model such as the Execution-Cache-Memory (ECM) model").
+//
+// The ECM model predicts the runtime of a steady-state streaming loop per
+// unit of work (one cache line, i.e. 8 doubles) from
+//
+//   - T_OL:  in-core "overlapping" time — cycles the core's compute ports
+//     are busy (everything that can overlap with data transfers),
+//   - T_nOL: in-core "non-overlapping" time — cycles the L1 cache is
+//     blocked by loads and stores,
+//   - T_L1L2, T_L2L3, T_L3Mem: data-transfer times between adjacent
+//     memory levels, from the traffic volume per cache line and the
+//     per-level bandwidths.
+//
+// For the Intel-style machine model, transfers do not overlap with each
+// other or with T_nOL:
+//
+//	T_data = T_nOL + T_L1L2 + T_L2L3 + T_L3Mem
+//	T_ECM  = max(T_OL, T_data)
+//
+// Other microarchitectures overlap part of the transfer chain (Hofmann et
+// al., "Bridging the architecture gap", 2020); this is expressed with a
+// per-level overlap factor: an overlapping level contributes
+// max-wise rather than additively.
+//
+// Multicore scaling follows the standard ECM saturation assumption:
+// performance scales linearly with cores until the memory-level transfer
+// time alone saturates the shared bandwidth:
+//
+//	n_sat = ceil(T_ECM / T_L3Mem)
+//
+// The in-core inputs T_OL/T_nOL are extracted from the port-pressure
+// analysis of package core, wiring the paper's contribution into the
+// node-level model.
+package ecm
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"incore/internal/core"
+	"incore/internal/nodes"
+	"incore/internal/uarch"
+)
+
+// MemLevel identifies where a kernel's working set resides.
+type MemLevel int
+
+// Memory hierarchy levels.
+const (
+	L1 MemLevel = iota
+	L2
+	L3
+	MEM
+)
+
+// String names the level.
+func (l MemLevel) String() string {
+	switch l {
+	case L1:
+		return "L1"
+	case L2:
+		return "L2"
+	case L3:
+		return "L3"
+	case MEM:
+		return "MEM"
+	default:
+		return fmt.Sprintf("MemLevel(%d)", int(l))
+	}
+}
+
+// Levels holds per-core inter-level bandwidths in bytes per cycle.
+type Levels struct {
+	// L1L2 is the L1<->L2 bandwidth (bytes/cy).
+	L1L2 float64
+	// L2L3 is the L2<->L3 bandwidth (bytes/cy).
+	L2L3 float64
+	// L3Mem is the full-socket memory bandwidth expressed in bytes per
+	// core-clock cycle (the ECM convention: a single core cannot move
+	// data faster than the socket; saturation is reached when n cores'
+	// combined demand hits this ceiling).
+	L3Mem float64
+}
+
+// Model is a calibrated ECM machine model for one microarchitecture.
+type Model struct {
+	Key  string
+	Core *uarch.Model
+	Node *nodes.Node
+	BW   Levels
+	// Overlap[i] reports whether transfer level i (0=L1L2, 1=L2L3,
+	// 2=L3Mem) overlaps with the rest of the data chain (true for the
+	// Arm/AMD-style machine models on some levels).
+	Overlap [3]bool
+	// FreqGHz is the clock the cycle counts refer to.
+	FreqGHz float64
+}
+
+// For returns the ECM machine model for a microarchitecture key.
+// Bandwidths follow vendor documentation scaled to double-precision
+// streaming (half-duplex evict+fill accounting as in the ECM literature).
+func For(key string) (*Model, error) {
+	cm, err := uarch.Get(key)
+	if err != nil {
+		return nil, err
+	}
+	n, err := nodes.Get(key)
+	if err != nil {
+		return nil, err
+	}
+	m := &Model{Key: key, Core: cm, Node: n}
+	measuredBW := n.TheoreticalBandwidthGBs() * n.StreamEfficiency // GB/s, socket
+	switch key {
+	case "goldencove":
+		m.FreqGHz = n.BaseFreqGHz
+		m.BW = Levels{L1L2: 64, L2L3: 16}
+		// Classic Intel ECM: fully non-overlapping transfer chain.
+		m.Overlap = [3]bool{false, false, false}
+	case "zen4":
+		m.FreqGHz = n.BaseFreqGHz
+		m.BW = Levels{L1L2: 32, L2L3: 32}
+		// Zen-style: L2<->L3 overlaps with the rest (victim cache).
+		m.Overlap = [3]bool{false, true, false}
+	case "neoversev2":
+		m.FreqGHz = n.BaseFreqGHz
+		m.BW = Levels{L1L2: 32, L2L3: 32}
+		// Arm-style: transfers overlap with each other except the
+		// memory level.
+		m.Overlap = [3]bool{true, true, false}
+	default:
+		return nil, fmt.Errorf("ecm: no machine model for %q", key)
+	}
+	m.BW.L3Mem = measuredBW / m.FreqGHz // bytes per core-clock cycle, socket
+	return m, nil
+}
+
+// MustFor panics on unknown keys.
+func MustFor(key string) *Model {
+	m, err := For(key)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Traffic describes per-cache-line data volumes of one kernel (64-byte
+// unit of work): bytes moved between adjacent levels when the working set
+// resides in the given level.
+type Traffic struct {
+	// LoadBytes / StoreBytes per cache line of work at the *source*
+	// level (e.g. a triad moves 2 load lines + 1 store line = 192 B
+	// loads, 64 B stores per line of output).
+	LoadBytes, StoreBytes float64
+	// WAFactor multiplies store traffic below L1 (2 = write-allocate,
+	// 1 = NT stores or automatic claim).
+	WAFactor float64
+}
+
+// bytesBetweenLevels returns the traffic crossing one boundary.
+func (tr Traffic) bytesBetweenLevels() float64 {
+	wa := tr.WAFactor
+	if wa == 0 {
+		wa = 2
+	}
+	return tr.LoadBytes + wa*tr.StoreBytes
+}
+
+// Result is one single-core ECM prediction.
+type Result struct {
+	Model *Model
+	Level MemLevel
+	// All times in cycles per cache line of work.
+	TOL, TnOL            float64
+	TL1L2, TL2L3, TL3Mem float64
+	// TECM is the combined single-core prediction.
+	TECM float64
+	// NSat is the core count at which shared memory bandwidth saturates
+	// (only meaningful for MEM-resident working sets).
+	NSat int
+}
+
+// CyclesPerIt converts the per-cache-line prediction into cycles per loop
+// iteration given elements per iteration (8 elements = 1 line).
+func (r *Result) CyclesPerIt(elemsPerIter int) float64 {
+	return r.TECM * float64(elemsPerIter) / 8
+}
+
+// InCoreInputs extracts T_OL and T_nOL from an in-core analysis: T_nOL is
+// the maximum pressure on load/store ports, T_OL the maximum pressure on
+// all other ports, both scaled to one cache line of work.
+func InCoreInputs(res *core.Result, elemsPerIter int) (tOL, tnOL float64, err error) {
+	if elemsPerIter <= 0 {
+		return 0, 0, fmt.Errorf("ecm: elemsPerIter must be positive")
+	}
+	m := res.Model
+	memMask := m.LoadPorts | m.StoreAGUPorts | m.StoreDataPorts | m.WideLoadPorts
+	for p, load := range res.PortPressure {
+		if memMask.Has(p) {
+			tnOL = math.Max(tnOL, load)
+		} else {
+			tOL = math.Max(tOL, load)
+		}
+	}
+	// LCD-bound kernels: the dependency chain is core time.
+	tOL = math.Max(tOL, res.LCD.Cycles)
+	scale := 8.0 / float64(elemsPerIter)
+	return tOL * scale, tnOL * scale, nil
+}
+
+// Predict computes the ECM prediction for a kernel whose in-core times are
+// tOL/tnOL (cycles per cache line) with the given traffic, for a working
+// set resident in level.
+func (m *Model) Predict(tOL, tnOL float64, tr Traffic, level MemLevel) *Result {
+	r := &Result{Model: m, Level: level, TOL: tOL, TnOL: tnOL}
+	vol := tr.bytesBetweenLevels()
+	if level >= L2 {
+		r.TL1L2 = vol / m.BW.L1L2
+	}
+	if level >= L3 {
+		r.TL2L3 = vol / m.BW.L2L3
+	}
+	if level >= MEM {
+		r.TL3Mem = vol / m.BW.L3Mem
+	}
+	// Combine: non-overlapping levels add to the data chain; overlapping
+	// levels contribute max-wise.
+	data := r.TnOL
+	overlapMax := 0.0
+	parts := []struct {
+		t       float64
+		overlap bool
+	}{
+		{r.TL1L2, m.Overlap[0]}, {r.TL2L3, m.Overlap[1]}, {r.TL3Mem, m.Overlap[2]},
+	}
+	for _, p := range parts {
+		if p.overlap {
+			overlapMax = math.Max(overlapMax, p.t)
+		} else {
+			data += p.t
+		}
+	}
+	r.TECM = math.Max(math.Max(r.TOL, data), overlapMax)
+	if level == MEM && r.TL3Mem > 0 {
+		r.NSat = int(math.Ceil(r.TECM / r.TL3Mem))
+	}
+	return r
+}
+
+// ScalingCurve predicts node-level performance (cache lines of work per
+// cycle) for 1..maxCores active cores: linear scaling until the shared
+// memory bandwidth ceiling 1/T_L3Mem is reached.
+func (r *Result) ScalingCurve(maxCores int) []float64 {
+	out := make([]float64, maxCores)
+	single := 1.0 / r.TECM
+	for n := 1; n <= maxCores; n++ {
+		perf := single * float64(n)
+		if r.Level == MEM && r.TL3Mem > 0 {
+			if ceiling := 1.0 / r.TL3Mem; perf > ceiling {
+				perf = ceiling
+			}
+		}
+		out[n-1] = perf
+	}
+	return out
+}
+
+// Report renders the prediction in the ECM literature's notation.
+func (r *Result) Report() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "ECM %s (%s), working set in %s\n", r.Model.Key, r.Model.Core.Name, r.Level)
+	fmt.Fprintf(&sb, "  { T_OL | T_nOL | T_L1L2 | T_L2L3 | T_L3Mem } = { %.1f | %.1f | %.1f | %.1f | %.1f } cy/CL\n",
+		r.TOL, r.TnOL, r.TL1L2, r.TL2L3, r.TL3Mem)
+	fmt.Fprintf(&sb, "  T_ECM = %.1f cy/CL", r.TECM)
+	if r.NSat > 0 {
+		fmt.Fprintf(&sb, ", saturates at ~%d cores", r.NSat)
+	}
+	sb.WriteByte('\n')
+	return sb.String()
+}

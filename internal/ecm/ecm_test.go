@@ -1,0 +1,217 @@
+package ecm
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"incore/internal/core"
+	"incore/internal/kernels"
+	"incore/internal/uarch"
+)
+
+func TestForAllArchs(t *testing.T) {
+	for _, key := range []string{"goldencove", "zen4", "neoversev2"} {
+		m, err := For(key)
+		if err != nil {
+			t.Fatalf("%s: %v", key, err)
+		}
+		if m.BW.L1L2 <= 0 || m.BW.L2L3 <= 0 || m.BW.L3Mem <= 0 {
+			t.Errorf("%s: incomplete bandwidths: %+v", key, m.BW)
+		}
+	}
+	if _, err := For("unknown"); err == nil {
+		t.Error("unknown arch must error")
+	}
+}
+
+func TestMemLevelString(t *testing.T) {
+	for l, want := range map[MemLevel]string{L1: "L1", L2: "L2", L3: "L3", MEM: "MEM"} {
+		if l.String() != want {
+			t.Errorf("%d.String() = %q", l, l.String())
+		}
+	}
+}
+
+func TestL1ResidentIsCoreBound(t *testing.T) {
+	m := MustFor("goldencove")
+	tr := Traffic{LoadBytes: 128, StoreBytes: 64, WAFactor: 2}
+	r := m.Predict(2, 3, tr, L1)
+	if r.TL1L2 != 0 || r.TL2L3 != 0 || r.TL3Mem != 0 {
+		t.Error("L1-resident data must incur no transfers")
+	}
+	if r.TECM != 3 {
+		t.Errorf("TECM = %f, want max(TOL, TnOL) = 3", r.TECM)
+	}
+}
+
+func TestLevelsAddMonotonically(t *testing.T) {
+	m := MustFor("goldencove")
+	tr := Traffic{LoadBytes: 128, StoreBytes: 64, WAFactor: 2}
+	prev := 0.0
+	for _, lvl := range []MemLevel{L1, L2, L3, MEM} {
+		r := m.Predict(2, 3, tr, lvl)
+		if r.TECM < prev {
+			t.Errorf("TECM must not decrease with deeper levels: %s", lvl)
+		}
+		prev = r.TECM
+	}
+}
+
+func TestIntelNonOverlappingChain(t *testing.T) {
+	m := MustFor("goldencove")
+	tr := Traffic{LoadBytes: 128, StoreBytes: 64, WAFactor: 2} // 256 B
+	r := m.Predict(1, 2, tr, MEM)
+	wantData := 2 + 256.0/m.BW.L1L2 + 256.0/m.BW.L2L3 + 256.0/m.BW.L3Mem
+	if math.Abs(r.TECM-wantData) > 1e-9 {
+		t.Errorf("Intel chain TECM = %f, want %f (additive)", r.TECM, wantData)
+	}
+}
+
+func TestArmOverlappingChain(t *testing.T) {
+	m := MustFor("neoversev2")
+	tr := Traffic{LoadBytes: 128, StoreBytes: 64, WAFactor: 1}
+	r := m.Predict(1, 2, tr, L3)
+	// L1L2 and L2L3 overlap on V2: contribution is max-wise, so TECM is
+	// well below the additive Intel-style combination.
+	additive := r.TnOL + r.TL1L2 + r.TL2L3
+	if !(r.TECM < additive) {
+		t.Errorf("V2 transfers must overlap: TECM %f vs additive %f", r.TECM, additive)
+	}
+}
+
+func TestSaturationPoint(t *testing.T) {
+	m := MustFor("goldencove")
+	// STREAM-triad-shaped traffic with WA: 2 load lines + 2x1 store.
+	tr := Traffic{LoadBytes: 128, StoreBytes: 64, WAFactor: 2}
+	r := m.Predict(1, 2, tr, MEM)
+	if r.NSat < 8 || r.NSat > 20 {
+		t.Errorf("SPR triad saturation at %d cores, expected ~a dozen", r.NSat)
+	}
+	curve := r.ScalingCurve(m.Node.Cores)
+	// The curve must flatten at the bandwidth ceiling.
+	last := curve[len(curve)-1]
+	ceiling := 1.0 / r.TL3Mem
+	if math.Abs(last-ceiling) > 1e-9 {
+		t.Errorf("saturated performance %f, want ceiling %f", last, ceiling)
+	}
+	// And must be monotone non-decreasing.
+	for i := 1; i < len(curve); i++ {
+		if curve[i] < curve[i-1]-1e-12 {
+			t.Error("scaling curve decreased")
+		}
+	}
+}
+
+func TestNTStoresReduceTraffic(t *testing.T) {
+	m := MustFor("zen4")
+	wa := m.Predict(1, 2, Traffic{LoadBytes: 128, StoreBytes: 64, WAFactor: 2}, MEM)
+	nt := m.Predict(1, 2, Traffic{LoadBytes: 128, StoreBytes: 64, WAFactor: 1}, MEM)
+	if !(nt.TECM < wa.TECM) {
+		t.Errorf("NT stores must shorten the memory time: %f vs %f", nt.TECM, wa.TECM)
+	}
+}
+
+func TestInCoreInputs(t *testing.T) {
+	marr := uarch.MustGet("goldencove")
+	k, err := kernels.ByName("striad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := kernels.Config{Arch: "goldencove", Compiler: kernels.GCC, Opt: kernels.O3}
+	b, err := kernels.Generate(k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.New().Analyze(b, marr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elems := kernels.ElemsPerIter(k, cfg)
+	tOL, tnOL, err := InCoreInputs(res, elems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tnOL <= 0 {
+		t.Error("a streaming kernel must have non-zero L1 time")
+	}
+	if tOL < 0 {
+		t.Error("negative core time")
+	}
+	// Triad at 8 elems/CL: 2 loads + 1 store per 8 elements; the store
+	// dominates the L1 time on GLC (2 store-data µ-ops per zmm store).
+	if tnOL > 6 || tnOL < 0.5 {
+		t.Errorf("tnOL = %f cy/CL out of plausible range", tnOL)
+	}
+	if _, _, err := InCoreInputs(res, 0); err == nil {
+		t.Error("zero elems must error")
+	}
+}
+
+func TestTrafficForKernel(t *testing.T) {
+	k, _ := kernels.ByName("striad")
+	tr := TrafficForKernel(k, 2)
+	if tr.LoadBytes != 128 || tr.StoreBytes != 64 || tr.WAFactor != 2 {
+		t.Errorf("striad traffic: %+v", tr)
+	}
+	pi, _ := kernels.ByName("pi")
+	trPi := TrafficForKernel(pi, 2)
+	if trPi.LoadBytes != 0 || trPi.StoreBytes != 0 {
+		t.Errorf("pi must move no data: %+v", trPi)
+	}
+}
+
+func TestWAFactorFor(t *testing.T) {
+	if WAFactorFor("neoversev2", true) != 1.0 {
+		t.Error("Grace claims lines: factor 1")
+	}
+	if WAFactorFor("goldencove", true) != 1.75 {
+		t.Error("saturated SPR: factor 1.75")
+	}
+	if WAFactorFor("goldencove", false) != 2.0 {
+		t.Error("unsaturated SPR: factor 2")
+	}
+	if WAFactorFor("zen4", true) != 2.0 {
+		t.Error("Genoa always allocates")
+	}
+}
+
+func TestCyclesPerIt(t *testing.T) {
+	m := MustFor("zen4")
+	r := m.Predict(4, 2, Traffic{LoadBytes: 64, WAFactor: 1}, L1)
+	// 4 cy/CL at 8 elems/CL -> 2 cy for a 4-element iteration.
+	if got := r.CyclesPerIt(4); math.Abs(got-2) > 1e-12 {
+		t.Errorf("CyclesPerIt = %f, want 2", got)
+	}
+}
+
+func TestReport(t *testing.T) {
+	m := MustFor("neoversev2")
+	r := m.Predict(2, 1, Traffic{LoadBytes: 128, StoreBytes: 64, WAFactor: 1}, MEM)
+	out := r.Report()
+	for _, want := range []string{"T_OL", "T_ECM", "MEM", "saturates"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestGraceVsGenoaStoreKernels: with standard stores, Grace's WA evasion
+// halves the memory traffic of a store-dominated kernel relative to
+// Genoa — the node-level consequence of Fig. 4 expressed in ECM terms.
+func TestGraceVsGenoaStoreKernels(t *testing.T) {
+	init, _ := kernels.ByName("init")
+	gcs := MustFor("neoversev2")
+	gen := MustFor("zen4")
+	rG := gcs.Predict(0.5, 1, TrafficForKernel(init, WAFactorFor("neoversev2", true)), MEM)
+	rZ := gen.Predict(0.5, 1, TrafficForKernel(init, WAFactorFor("zen4", true)), MEM)
+	if !(rG.TL3Mem < rZ.TL3Mem) {
+		t.Errorf("Grace store traffic must be lower: %f vs %f", rG.TL3Mem, rZ.TL3Mem)
+	}
+	ratio := (rZ.TL3Mem / gen.BW.L3Mem * gen.BW.L3Mem) / (rG.TL3Mem / gcs.BW.L3Mem * gcs.BW.L3Mem)
+	_ = ratio
+	// Traffic volumes: 128 B vs 64 B per line.
+	if rZ.TL3Mem*gen.BW.L3Mem != 128 || rG.TL3Mem*gcs.BW.L3Mem != 64 {
+		t.Errorf("volumes: genoa %f B, grace %f B", rZ.TL3Mem*gen.BW.L3Mem, rG.TL3Mem*gcs.BW.L3Mem)
+	}
+}

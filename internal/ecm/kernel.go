@@ -1,0 +1,34 @@
+package ecm
+
+import "incore/internal/kernels"
+
+// TrafficForKernel derives per-cache-line traffic volumes from a kernel
+// descriptor: each distinct load/store stream moves one 64-byte line per
+// line of output (stencil neighbor accesses within a stream hit the
+// cache). waFactor is 2 for write-allocate stores, 1 for NT stores or
+// automatic cache-line claim.
+func TrafficForKernel(k *kernels.Kernel, waFactor float64) Traffic {
+	return Traffic{
+		LoadBytes:  64 * float64(k.LoadStreams),
+		StoreBytes: 64 * float64(k.StoreStreams),
+		WAFactor:   waFactor,
+	}
+}
+
+// WAFactorFor returns the write-allocate traffic factor of an
+// architecture for standard stores, consistent with the Fig. 4 study:
+// Grace claims lines automatically (1.0), SPR reduces RFOs by at most 25%
+// near saturation (1.75 effective at scale), Genoa always allocates (2.0).
+func WAFactorFor(arch string, saturated bool) float64 {
+	switch arch {
+	case "neoversev2":
+		return 1.0
+	case "goldencove":
+		if saturated {
+			return 1.75
+		}
+		return 2.0
+	default:
+		return 2.0
+	}
+}

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"incore/internal/core"
+	"incore/internal/ecm"
+	"incore/internal/kernels"
+	"incore/internal/uarch"
+)
+
+// ECMRow is one (arch, kernel, level) node-level prediction.
+type ECMRow struct {
+	Arch   string
+	Kernel string
+	Level  ecm.MemLevel
+	// TECM in cycles per cache line; NSat the saturation core count.
+	TECM float64
+	NSat int
+	// CyPerElem at the kernel's element granularity.
+	CyPerElem float64
+}
+
+// ECMStudy is experiment E7: the paper's future work — the in-core model
+// feeding the Execution-Cache-Memory model for a set of streaming and
+// stencil kernels on all three machines.
+type ECMStudy struct {
+	Rows []ECMRow
+}
+
+// ecmKernels are the kernels shown in the E7 report.
+var ecmKernels = []string{"striad", "add", "j2d5", "j3d7", "sum"}
+
+// RunECM builds ECM predictions for each kernel's best vectorized variant
+// (first compiler, Ofast) across memory levels.
+func RunECM() (*ECMStudy, error) {
+	var study ECMStudy
+	an := core.New()
+	for _, arch := range []string{"neoversev2", "goldencove", "zen4"} {
+		m, err := uarch.Get(arch)
+		if err != nil {
+			return nil, err
+		}
+		em, err := ecm.For(arch)
+		if err != nil {
+			return nil, err
+		}
+		for _, kname := range ecmKernels {
+			k, err := kernels.ByName(kname)
+			if err != nil {
+				return nil, err
+			}
+			cfg := kernels.Config{Arch: arch, Compiler: kernels.CompilersFor(arch)[0], Opt: kernels.Ofast}
+			b, err := kernels.Generate(k, cfg)
+			if err != nil {
+				return nil, err
+			}
+			res, err := an.Analyze(b, m)
+			if err != nil {
+				return nil, err
+			}
+			elems := kernels.ElemsPerIter(k, cfg)
+			tOL, tnOL, err := ecm.InCoreInputs(res, elems)
+			if err != nil {
+				return nil, err
+			}
+			tr := ecm.TrafficForKernel(k, ecm.WAFactorFor(arch, true))
+			for _, level := range []ecm.MemLevel{ecm.L1, ecm.L2, ecm.L3, ecm.MEM} {
+				r := em.Predict(tOL, tnOL, tr, level)
+				study.Rows = append(study.Rows, ECMRow{
+					Arch: arch, Kernel: kname, Level: level,
+					TECM: r.TECM, NSat: r.NSat,
+					CyPerElem: r.TECM / 8,
+				})
+			}
+		}
+	}
+	return &study, nil
+}
+
+// Render draws the per-level cycle predictions per kernel and machine.
+func (s *ECMStudy) Render() string {
+	var sb strings.Builder
+	sb.WriteString("E7 (paper future work) — ECM node-level predictions [cy per cache line]\n")
+	sb.WriteString("in-core inputs from the OSACA-style analyzer; memory term includes each\n")
+	sb.WriteString("machine's write-allocate behaviour (GCS claims, SPR SpecI2M, Genoa full WA)\n\n")
+	head := []string{"kernel", "level"}
+	for _, a := range []string{"neoversev2", "goldencove", "zen4"} {
+		head = append(head, chipLabel(a), "n_sat")
+	}
+	var rows [][]string
+	for _, kname := range ecmKernels {
+		for _, level := range []ecm.MemLevel{ecm.L1, ecm.L2, ecm.L3, ecm.MEM} {
+			row := []string{kname, level.String()}
+			for _, a := range []string{"neoversev2", "goldencove", "zen4"} {
+				var cell, sat string
+				for _, r := range s.Rows {
+					if r.Arch == a && r.Kernel == kname && r.Level == level {
+						cell = fmt.Sprintf("%.1f", r.TECM)
+						if r.NSat > 0 {
+							sat = fmt.Sprintf("%d", r.NSat)
+						} else {
+							sat = "-"
+						}
+					}
+				}
+				row = append(row, cell, sat)
+			}
+			rows = append(rows, row)
+		}
+	}
+	writeTable(&sb, head, rows)
+	return sb.String()
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"incore/internal/ecm"
+)
+
+func TestECMStudy(t *testing.T) {
+	s, err := RunECM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 archs x 5 kernels x 4 levels.
+	if len(s.Rows) != 60 {
+		t.Fatalf("rows = %d, want 60", len(s.Rows))
+	}
+	byKey := map[string]ECMRow{}
+	for _, r := range s.Rows {
+		byKey[r.Arch+"/"+r.Kernel+"/"+r.Level.String()] = r
+	}
+	// Deeper levels cannot be faster.
+	for _, arch := range []string{"neoversev2", "goldencove", "zen4"} {
+		for _, k := range []string{"striad", "add", "j2d5"} {
+			prev := 0.0
+			for _, lvl := range []ecm.MemLevel{ecm.L1, ecm.L2, ecm.L3, ecm.MEM} {
+				r := byKey[arch+"/"+k+"/"+lvl.String()]
+				if r.TECM < prev-1e-9 {
+					t.Errorf("%s/%s: TECM decreased at %s", arch, k, lvl)
+				}
+				prev = r.TECM
+			}
+		}
+	}
+	// Memory-resident kernels have a saturation point within the socket.
+	for _, arch := range []string{"neoversev2", "goldencove", "zen4"} {
+		r := byKey[arch+"/striad/MEM"]
+		if r.NSat < 2 || r.NSat > 96 {
+			t.Errorf("%s striad n_sat = %d, implausible", arch, r.NSat)
+		}
+	}
+	// Grace's WA evasion makes its memory-resident store-heavy kernels
+	// relatively cheaper: compare the MEM-minus-L3 delta (pure memory
+	// term) for the add kernel against Genoa, normalised by bandwidth.
+	out := s.Render()
+	for _, want := range []string{"ECM", "n_sat", "striad", "MEM"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"incore/internal/memsim"
+	"incore/internal/nodes"
+)
+
+// Fig4Series is one traffic-ratio curve of the WA-evasion study.
+type Fig4Series struct {
+	Arch  string
+	Label string
+	NT    bool
+	// Ratio maps active core count to traffic/stored ratio.
+	Ratio map[int]float64
+	// Counts is the sorted sweep.
+	Counts []int
+}
+
+// Fig4 reproduces the write-allocate evasion study: the ratio of actual
+// memory traffic to stored data volume for a store-only benchmark, as a
+// function of active cores, with standard and non-temporal stores.
+type Fig4 struct {
+	Series []Fig4Series
+}
+
+// RunFig4 runs the five curves of the paper's Fig. 4.
+func RunFig4() (*Fig4, error) {
+	specs := []struct {
+		arch, label string
+		nt          bool
+	}{
+		{"neoversev2", "GCS", false},
+		{"goldencove", "SPR", false},
+		{"goldencove", "SPR NT stores", true},
+		{"zen4", "Genoa", false},
+		{"zen4", "Genoa NT stores", true},
+	}
+	var f Fig4
+	for _, s := range specs {
+		n, err := nodes.Get(s.arch)
+		if err != nil {
+			return nil, err
+		}
+		counts := memsim.DefaultCounts(n.Cores)
+		ratios, err := memsim.WACurve(s.arch, s.nt, counts)
+		if err != nil {
+			return nil, fmt.Errorf("fig4: %s: %w", s.label, err)
+		}
+		sorted := append([]int(nil), counts...)
+		sort.Ints(sorted)
+		f.Series = append(f.Series, Fig4Series{
+			Arch: s.arch, Label: s.label, NT: s.nt, Ratio: ratios, Counts: sorted,
+		})
+	}
+	return &f, nil
+}
+
+// AtFullSocket returns a series' ratio at its maximum core count.
+func (s *Fig4Series) AtFullSocket() float64 {
+	if len(s.Counts) == 0 {
+		return 0
+	}
+	return s.Ratio[s.Counts[len(s.Counts)-1]]
+}
+
+// Render draws the curves as a table plus the paper's headline findings.
+func (f *Fig4) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Fig. 4 — ratio of actual memory traffic to stored data volume vs. active cores\n")
+	sb.WriteString("(store-only benchmark; 1.0 = perfect write-allocate evasion, 2.0 = full WA traffic)\n")
+	// Union of counts for the header.
+	seen := map[int]bool{}
+	var union []int
+	for _, s := range f.Series {
+		for _, c := range s.Counts {
+			if !seen[c] {
+				seen[c] = true
+				union = append(union, c)
+			}
+		}
+	}
+	sort.Ints(union)
+	head := []string{"series"}
+	for _, c := range union {
+		head = append(head, fmt.Sprintf("%d", c))
+	}
+	var rows [][]string
+	for _, s := range f.Series {
+		row := []string{s.Label}
+		for _, c := range union {
+			if v, ok := s.Ratio[c]; ok {
+				row = append(row, fmt.Sprintf("%.2f", v))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		rows = append(rows, row)
+	}
+	writeTable(&sb, head, rows)
+	sb.WriteString("\nFindings (compare paper Sec. III):\n")
+	for _, s := range f.Series {
+		fmt.Fprintf(&sb, "  %-16s full socket ratio %.2f\n", s.Label, s.AtFullSocket())
+	}
+	return sb.String()
+}

@@ -1,0 +1,198 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"incore/internal/core"
+	"incore/internal/ecm"
+	"incore/internal/freq"
+	"incore/internal/isa"
+	"incore/internal/kernels"
+	"incore/internal/nodes"
+	"incore/internal/uarch"
+)
+
+// NodePerfCell is one (kernel, arch) full-socket prediction.
+type NodePerfCell struct {
+	Arch   string
+	Kernel string
+	// BestVariant is the compiler/flag combination with the best
+	// in-core prediction.
+	BestVariant string
+	// GUPs is predicted giga (lattice/stream) updates per second for a
+	// memory-resident working set at full socket.
+	GUPs float64
+	// CoreBoundGUPs ignores the memory system (L1-resident).
+	CoreBoundGUPs float64
+	// MemBound reports whether the socket saturates on bandwidth.
+	MemBound bool
+}
+
+// NodePerf is the capstone comparison the paper's introduction motivates:
+// which machine wins for which kernel once in-core capability, sustained
+// frequency, core count, memory bandwidth, and write-allocate behaviour
+// are all accounted for.
+type NodePerf struct {
+	Cells map[string]map[string]NodePerfCell // [kernel][arch]
+}
+
+// RunNodePerf predicts full-socket performance for every kernel on every
+// machine: the best compiled variant's in-core time feeds the ECM model
+// (memory-resident working set), scaled by the sustained frequency for
+// the variant's ISA class.
+func RunNodePerf() (*NodePerf, error) {
+	np := &NodePerf{Cells: map[string]map[string]NodePerfCell{}}
+	an := core.New()
+	for ki := range kernels.Kernels {
+		k := &kernels.Kernels[ki]
+		np.Cells[k.Name] = map[string]NodePerfCell{}
+		for _, arch := range []string{"neoversev2", "goldencove", "zen4"} {
+			m, err := uarch.Get(arch)
+			if err != nil {
+				return nil, err
+			}
+			n, err := nodes.Get(arch)
+			if err != nil {
+				return nil, err
+			}
+			g, err := freq.For(arch)
+			if err != nil {
+				return nil, err
+			}
+			em, err := ecm.For(arch)
+			if err != nil {
+				return nil, err
+			}
+
+			// Pick the best variant by in-core cycles per element.
+			best := NodePerfCell{Arch: arch, Kernel: k.Name}
+			bestCyPerElem := math.Inf(1)
+			var bestRes *core.Result
+			var bestElems int
+			var bestExt isa.Ext
+			for _, comp := range kernels.CompilersFor(arch) {
+				cfg := kernels.Config{Arch: arch, Compiler: comp, Opt: kernels.Ofast}
+				b, err := kernels.Generate(k, cfg)
+				if err != nil {
+					return nil, err
+				}
+				res, err := an.Analyze(b, m)
+				if err != nil {
+					return nil, err
+				}
+				elems := kernels.ElemsPerIter(k, cfg)
+				cpe := res.Prediction / float64(elems)
+				if cpe < bestCyPerElem {
+					bestCyPerElem = cpe
+					best.BestVariant = string(comp) + "-Ofast"
+					bestRes = res
+					bestElems = elems
+					bestExt = dominantExt(b)
+				}
+			}
+
+			f, err := g.Sustained(n.Cores, bestExt)
+			if err != nil {
+				// ISA class without a calibrated activity factor (e.g.
+				// scalar-only kernels on x86): fall back to scalar.
+				f, err = g.Sustained(n.Cores, isa.ExtScalar)
+				if err != nil {
+					return nil, err
+				}
+			}
+
+			// Core-bound (L1) performance.
+			best.CoreBoundGUPs = float64(n.Cores) / bestCyPerElem * f
+
+			// Memory-resident ECM prediction.
+			tOL, tnOL, err := ecm.InCoreInputs(bestRes, bestElems)
+			if err != nil {
+				return nil, err
+			}
+			tr := ecm.TrafficForKernel(k, ecm.WAFactorFor(arch, true))
+			r := em.Predict(tOL, tnOL, tr, ecm.MEM)
+			perfCLperCy := float64(n.Cores) / r.TECM
+			if r.TL3Mem > 0 {
+				if ceiling := 1.0 / r.TL3Mem; perfCLperCy > ceiling {
+					perfCLperCy = ceiling
+					best.MemBound = true
+				}
+			}
+			best.GUPs = perfCLperCy * 8 * f // 8 elements per cache line
+			np.Cells[k.Name][arch] = best
+		}
+	}
+	return np, nil
+}
+
+// dominantExt returns the widest ISA class used by a block (for the
+// frequency governor).
+func dominantExt(b *isa.Block) isa.Ext {
+	best := isa.ExtScalar
+	rank := map[isa.Ext]int{
+		isa.ExtScalar: 0, isa.ExtSSE: 1, isa.ExtNEON: 1, isa.ExtSVE: 2,
+		isa.ExtAVX: 2, isa.ExtAVX512: 3,
+	}
+	for i := range b.Instrs {
+		if rank[b.Instrs[i].Ext] > rank[best] {
+			best = b.Instrs[i].Ext
+		}
+	}
+	return best
+}
+
+// Winner returns the fastest architecture for a kernel (memory-resident).
+func (np *NodePerf) Winner(kernel string) (string, float64) {
+	bestArch, bestPerf := "", 0.0
+	for arch, c := range np.Cells[kernel] {
+		if c.GUPs > bestPerf {
+			bestArch, bestPerf = arch, c.GUPs
+		}
+	}
+	return bestArch, bestPerf
+}
+
+// Render draws the node-level comparison.
+func (np *NodePerf) Render() string {
+	var sb strings.Builder
+	sb.WriteString("Node-level kernel performance prediction (full socket, memory-resident)\n")
+	sb.WriteString("in-core model -> ECM -> sustained frequency; G updates/s per kernel\n\n")
+	head := []string{"kernel"}
+	for _, a := range []string{"neoversev2", "goldencove", "zen4"} {
+		head = append(head, chipLabel(a))
+	}
+	head = append(head, "winner", "bound")
+	var rows [][]string
+	for ki := range kernels.Kernels {
+		k := kernels.Kernels[ki].Name
+		row := []string{k}
+		for _, a := range []string{"neoversev2", "goldencove", "zen4"} {
+			row = append(row, fmt.Sprintf("%.1f", np.Cells[k][a].GUPs))
+		}
+		w, _ := np.Winner(k)
+		bound := "core"
+		if np.Cells[k][w].MemBound {
+			bound = "mem"
+		}
+		rows = append(rows, append(row, chipLabel(w), bound))
+	}
+	writeTable(&sb, head, rows)
+	sb.WriteString("\nCore-bound (L1-resident) comparison:\n")
+	head2 := []string{"kernel"}
+	for _, a := range []string{"neoversev2", "goldencove", "zen4"} {
+		head2 = append(head2, chipLabel(a))
+	}
+	var rows2 [][]string
+	for ki := range kernels.Kernels {
+		k := kernels.Kernels[ki].Name
+		row := []string{k}
+		for _, a := range []string{"neoversev2", "goldencove", "zen4"} {
+			row = append(row, fmt.Sprintf("%.1f", np.Cells[k][a].CoreBoundGUPs))
+		}
+		rows2 = append(rows2, row)
+	}
+	writeTable(&sb, head2, rows2)
+	return sb.String()
+}

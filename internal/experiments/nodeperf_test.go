@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNodePerf(t *testing.T) {
+	np, err := RunNodePerf()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(np.Cells) != 13 {
+		t.Fatalf("kernels = %d, want 13", len(np.Cells))
+	}
+	// Streaming kernels are memory-bound at full socket on all machines,
+	// and Grace wins them (highest measured bandwidth + WA evasion).
+	for _, k := range []string{"copy", "add", "striad", "schtriad", "j3d7"} {
+		w, perf := np.Winner(k)
+		if w != "neoversev2" {
+			t.Errorf("%s winner = %s, want neoversev2 (bandwidth + WA evasion)", k, w)
+		}
+		if perf <= 0 {
+			t.Errorf("%s: non-positive performance", k)
+		}
+		for _, arch := range []string{"neoversev2", "goldencove", "zen4"} {
+			if !np.Cells[k][arch].MemBound {
+				t.Errorf("%s on %s must be memory-bound at full socket", k, arch)
+			}
+		}
+	}
+	// π is compute-bound; Genoa's 96 cores win (the paper's node-level
+	// throughput argument).
+	w, _ := np.Winner("pi")
+	if w != "zen4" {
+		t.Errorf("pi winner = %s, want zen4 (most cores, best divide throughput)", w)
+	}
+	if np.Cells["pi"]["zen4"].MemBound {
+		t.Error("pi must be core-bound (no memory traffic)")
+	}
+	// Grace's WA advantage: for the store-only init kernel, the
+	// GCS/Genoa ratio must exceed the pure bandwidth ratio (467/360)
+	// because Genoa pays double traffic for stores.
+	gcs := np.Cells["init"]["neoversev2"].GUPs
+	gen := np.Cells["init"]["zen4"].GUPs
+	bwRatio := 467.0 / 360.0
+	if gcs/gen < bwRatio*1.3 {
+		t.Errorf("init GCS/Genoa = %.2f, want > %.2f x 1.3 (WA evasion advantage)", gcs/gen, bwRatio)
+	}
+	// Core-bound numbers must always exceed memory-resident ones.
+	for k, byArch := range np.Cells {
+		for arch, c := range byArch {
+			if c.CoreBoundGUPs < c.GUPs-1e-9 {
+				t.Errorf("%s/%s: core-bound %f below mem-resident %f", k, arch, c.CoreBoundGUPs, c.GUPs)
+			}
+		}
+	}
+	out := np.Render()
+	for _, want := range []string{"winner", "GCS", "Genoa", "core", "mem"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+// Package experiments contains one runner per table and figure of the
+// paper's evaluation, regenerating each artifact on the simulation
+// substrate (see DESIGN.md's experiment index E1..E6).
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"incore/internal/bw"
+	"incore/internal/freq"
+	"incore/internal/isa"
+	"incore/internal/nodes"
+)
+
+// Table1Row is one system column of Table I.
+type Table1Row struct {
+	Node *nodes.Node
+
+	TheoreticalPeakTFs float64
+	AchievablePeakTFs  float64
+	SustainedVecGHz    float64
+
+	TheoreticalBWGBs float64
+	MeasuredBWGBs    float64
+}
+
+// Table1 reproduces Table I: node features plus measured bandwidth and
+// achievable peak from the simulation substrate.
+type Table1 struct {
+	Rows []Table1Row
+}
+
+// RunTable1 measures bandwidth with the bw benchmark and derives
+// achievable peak from the frequency governor's sustained all-core
+// frequency for the widest vector ISA.
+func RunTable1() (*Table1, error) {
+	var t Table1
+	for i := range nodes.Nodes {
+		n := &nodes.Nodes[i]
+		row := Table1Row{Node: n}
+		row.TheoreticalPeakTFs = n.TheoreticalPeakTFs()
+		row.TheoreticalBWGBs = n.TheoreticalBandwidthGBs()
+
+		g, err := freq.For(n.Key)
+		if err != nil {
+			return nil, err
+		}
+		ext := widestExt(n.Key)
+		f, err := g.Sustained(n.Cores, ext)
+		if err != nil {
+			return nil, err
+		}
+		row.SustainedVecGHz = f
+		row.AchievablePeakTFs = n.AchievablePeakTFs(f)
+
+		bwRes, err := bw.MeasureNode(n.Key)
+		if err != nil {
+			return nil, err
+		}
+		row.MeasuredBWGBs = bwRes.PeakGBs
+		t.Rows = append(t.Rows, row)
+	}
+	return &t, nil
+}
+
+func widestExt(key string) isa.Ext {
+	if key == "neoversev2" {
+		return isa.ExtSVE
+	}
+	return isa.ExtAVX512
+}
+
+// Render draws the table in the paper's layout (systems as columns).
+func (t *Table1) Render() string {
+	var sb strings.Builder
+	head := []string{""}
+	for _, r := range t.Rows {
+		head = append(head, r.Node.Name)
+	}
+	rows := [][]string{
+		{"Microarchitecture"}, {"Cores"}, {"Freq (max/base) [GHz]"},
+		{"Theor. DP peak [TFlop/s]"}, {"Achiev. DP peak [TFlop/s]"},
+		{"TDP [W]"}, {"Cache (L1/L2/L3)"}, {"Main memory"},
+		{"ccNUMA domains"}, {"Max mem BW theor. [GB/s]"},
+		{"Max mem BW measured [GB/s]"}, {"BW efficiency"},
+	}
+	for _, r := range t.Rows {
+		n := r.Node
+		rows[0] = append(rows[0], n.Uarch)
+		rows[1] = append(rows[1], fmt.Sprintf("%d", n.Cores))
+		rows[2] = append(rows[2], fmt.Sprintf("%.1f / %.2f", n.MaxFreqGHz, n.BaseFreqGHz))
+		rows[3] = append(rows[3], fmt.Sprintf("%.2f", r.TheoreticalPeakTFs))
+		rows[4] = append(rows[4], fmt.Sprintf("%.2f", r.AchievablePeakTFs))
+		rows[5] = append(rows[5], fmt.Sprintf("%.0f", n.TDPWatts))
+		rows[6] = append(rows[6], fmt.Sprintf("%dKB/%dMB/%dMB", n.L1Bytes>>10, n.L2Bytes>>20, n.L3Bytes>>20))
+		rows[7] = append(rows[7], fmt.Sprintf("%dGB %s", n.MemGB, n.MemType))
+		rows[8] = append(rows[8], fmt.Sprintf("%d", n.CCNUMADomains))
+		rows[9] = append(rows[9], fmt.Sprintf("%.0f", r.TheoreticalBWGBs))
+		rows[10] = append(rows[10], fmt.Sprintf("%.0f", r.MeasuredBWGBs))
+		rows[11] = append(rows[11], fmt.Sprintf("%.0f%%", 100*r.MeasuredBWGBs/r.TheoreticalBWGBs))
+	}
+	sb.WriteString("Table I — node feature comparison (measured values from the simulation substrate)\n")
+	writeTable(&sb, head, rows)
+	return sb.String()
+}
+
+// writeTable renders rows with a header, padding columns.
+func writeTable(sb *strings.Builder, head []string, rows [][]string) {
+	width := make([]int, len(head))
+	for i, h := range head {
+		width[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(sb, "%-*s", width[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	line(head)
+	total := 0
+	for _, w := range width {
+		total += w + 2
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteByte('\n')
+	for _, r := range rows {
+		line(r)
+	}
+}

@@ -1,0 +1,310 @@
+// Package ibench generates and runs instruction micro-benchmarks — the
+// reproduction's counterpart to the ibench / OoO instruction benchmarking
+// tools the paper uses to populate its port models ("we write
+// microbenchmarks ... for every interesting instruction to obtain its
+// throughput, latency, and port occupation").
+//
+// Two benchmark shapes per instruction class:
+//
+//   - throughput: 16 independent instances per loop iteration (enough
+//     parallel chains to exceed ports x latency even for accumulating
+//     FMAs), measured as instructions per cycle;
+//   - latency: an 8-link serial dependency chain, measured as cycles per
+//     link. FMA chains route through the multiplicand, not the
+//     accumulator, to avoid accumulator-forwarding shortcuts.
+//
+// Benchmarks run on the core simulator (package sim), standing in for
+// hardware measurement.
+package ibench
+
+import (
+	"fmt"
+	"strings"
+
+	"incore/internal/isa"
+	"incore/internal/sim"
+	"incore/internal/uarch"
+)
+
+// Kind enumerates the benchmarkable instruction classes.
+type Kind int
+
+// Instruction classes (the rows of the paper's Table III).
+const (
+	Gather Kind = iota
+	VecAdd
+	VecMul
+	VecFMA
+	VecDiv
+	ScalarAdd
+	ScalarMul
+	ScalarFMA
+	ScalarDiv
+)
+
+// String names the class as in the paper.
+func (k Kind) String() string {
+	switch k {
+	case Gather:
+		return "gather [CL/cy]"
+	case VecAdd:
+		return "VEC ADD"
+	case VecMul:
+		return "VEC MUL"
+	case VecFMA:
+		return "VEC FMA"
+	case VecDiv:
+		return "VEC FP DIV"
+	case ScalarAdd:
+		return "Scalar ADD"
+	case ScalarMul:
+		return "Scalar MUL"
+	case ScalarFMA:
+		return "Scalar FMA"
+	case ScalarDiv:
+		return "Scalar DIV"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ParseKind resolves a class name ("vecfma", "scalardiv", "gather").
+func ParseKind(s string) (Kind, error) {
+	switch strings.ToLower(strings.ReplaceAll(s, "-", "")) {
+	case "gather":
+		return Gather, nil
+	case "vecadd":
+		return VecAdd, nil
+	case "vecmul":
+		return VecMul, nil
+	case "vecfma":
+		return VecFMA, nil
+	case "vecdiv", "vecfpdiv":
+		return VecDiv, nil
+	case "scalaradd":
+		return ScalarAdd, nil
+	case "scalarmul":
+		return ScalarMul, nil
+	case "scalarfma":
+		return ScalarFMA, nil
+	case "scalardiv":
+		return ScalarDiv, nil
+	default:
+		return 0, fmt.Errorf("ibench: unknown instruction class %q", s)
+	}
+}
+
+// AllKinds lists the classes in Table III order.
+func AllKinds() []Kind {
+	return []Kind{Gather, VecAdd, VecMul, VecFMA, VecDiv,
+		ScalarAdd, ScalarMul, ScalarFMA, ScalarDiv}
+}
+
+// Benchmark shape parameters.
+const (
+	// TputInstances is the number of parallel chains in throughput
+	// benchmarks.
+	TputInstances = 16
+	// LatInstances is the serial chain length in latency benchmarks.
+	LatInstances = 8
+)
+
+// Lanes returns the DP lanes per instruction at the model's native width
+// (1 for scalar classes).
+func Lanes(m *uarch.Model, kind Kind) int {
+	switch kind {
+	case ScalarAdd, ScalarMul, ScalarFMA, ScalarDiv:
+		return 1
+	default:
+		return m.VecWidth / 64
+	}
+}
+
+// Build emits the benchmark loop body for a class; latency selects the
+// serial-chain shape.
+func Build(m *uarch.Model, kind Kind, latency bool) (*isa.Block, error) {
+	var text string
+	if m.Dialect == isa.DialectAArch64 {
+		text = buildAArch64(kind, latency)
+	} else {
+		text = buildX86(m, kind, latency)
+	}
+	name := fmt.Sprintf("ibench-%s-%s-lat=%v", m.Key, kind, latency)
+	return isa.ParseBlock(name, m.Key, m.Dialect, text)
+}
+
+// Result is one instruction class's measurement.
+type Result struct {
+	Kind Kind
+	// ThroughputInstr is instructions per cycle; ThroughputElems scales
+	// by lanes (cache lines per cycle for gathers).
+	ThroughputInstr, ThroughputElems float64
+	// LatencyCy is the dependency-chain latency.
+	LatencyCy float64
+}
+
+// Measure runs both benchmark shapes on the core simulator.
+func Measure(m *uarch.Model, kind Kind, cfg sim.Config) (*Result, error) {
+	r := &Result{Kind: kind}
+	lanes := Lanes(m, kind)
+
+	tb, err := Build(m, kind, false)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := sim.Run(tb, m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	r.ThroughputInstr = float64(TputInstances) / tr.CyclesPerIter
+	if kind == Gather {
+		r.ThroughputElems = r.ThroughputInstr * float64(lanes) * 8 / 64 // CL/cy
+	} else {
+		r.ThroughputElems = r.ThroughputInstr * float64(lanes)
+	}
+
+	lb, err := Build(m, kind, true)
+	if err != nil {
+		return nil, err
+	}
+	lr, err := sim.Run(lb, m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	r.LatencyCy = lr.CyclesPerIter / float64(LatInstances)
+	return r, nil
+}
+
+// ---------------------------------------------------------------------------
+// x86 builder
+
+func buildX86(m *uarch.Model, kind Kind, latency bool) string {
+	var sb strings.Builder
+	sb.WriteString(".L0:\n")
+	pfx := "zmm"
+	if m.VecWidth == 256 {
+		pfx = "ymm"
+	}
+	r := func(i int) string { return fmt.Sprintf("%%%s%d", pfx, i) }
+	x := func(i int) string { return fmt.Sprintf("%%xmm%d", i) }
+	n := TputInstances
+	if latency {
+		n = LatInstances
+	}
+	for i := 0; i < n; i++ {
+		dst := 16 + i%16 // distinct destinations, clear of the sources
+		switch kind {
+		case Gather:
+			if latency {
+				if m.VecWidth == 512 {
+					fmt.Fprintf(&sb, "\tvgatherqpd (%%rsi,%s,8), %s\n", r(0), r(0))
+				} else {
+					fmt.Fprintf(&sb, "\tvgatherqpd %s, (%%rsi,%s,8), %s\n", r(9), r(0), r(0))
+				}
+			} else {
+				if m.VecWidth == 512 {
+					fmt.Fprintf(&sb, "\tvgatherqpd (%%rsi,%s,8), %s\n", r(8), r(dst))
+				} else {
+					fmt.Fprintf(&sb, "\tvgatherqpd %s, (%%rsi,%s,8), %s\n", r(9), r(8), r(dst))
+				}
+			}
+		case VecAdd:
+			emit3(&sb, "vaddpd", r, dst, latency)
+		case VecMul:
+			emit3(&sb, "vmulpd", r, dst, latency)
+		case VecFMA:
+			if latency {
+				fmt.Fprintf(&sb, "\tvfmadd213pd %s, %s, %s\n", r(8), r(9), r(0))
+			} else {
+				fmt.Fprintf(&sb, "\tvfmadd231pd %s, %s, %s\n", r(8), r(9), r(dst))
+			}
+		case VecDiv:
+			emit3(&sb, "vdivpd", r, dst, latency)
+		case ScalarAdd:
+			emit3(&sb, "vaddsd", x, dst, latency)
+		case ScalarMul:
+			emit3(&sb, "vmulsd", x, dst, latency)
+		case ScalarFMA:
+			if latency {
+				fmt.Fprintf(&sb, "\tvfmadd213sd %s, %s, %s\n", x(8), x(9), x(0))
+			} else {
+				fmt.Fprintf(&sb, "\tvfmadd231sd %s, %s, %s\n", x(8), x(9), x(dst))
+			}
+		case ScalarDiv:
+			emit3(&sb, "vdivsd", x, dst, latency)
+		}
+	}
+	sb.WriteString("\tdecq %rcx\n\tjne .L0\n")
+	return sb.String()
+}
+
+// emit3 writes a three-operand AT&T op, either as an independent instance
+// (distinct destination) or as a serial chain through register 0.
+func emit3(sb *strings.Builder, op string, r func(int) string, dst int, latency bool) {
+	if latency {
+		fmt.Fprintf(sb, "\t%s %s, %s, %s\n", op, r(8), r(0), r(0))
+		return
+	}
+	fmt.Fprintf(sb, "\t%s %s, %s, %s\n", op, r(8), r(9), r(dst))
+}
+
+// ---------------------------------------------------------------------------
+// AArch64 builder
+
+func buildAArch64(kind Kind, latency bool) string {
+	var sb strings.Builder
+	sb.WriteString(".L0:\n")
+	v := func(i int) string { return fmt.Sprintf("v%d.2d", i) }
+	d := func(i int) string { return fmt.Sprintf("d%d", i) }
+	n := TputInstances
+	if latency {
+		n = LatInstances
+	}
+	for i := 0; i < n; i++ {
+		dst := 16 + i%16
+		switch kind {
+		case Gather:
+			if latency {
+				fmt.Fprintf(&sb, "\tld1d { z0.d }, p0/z, [x1, z0.d]\n")
+			} else {
+				fmt.Fprintf(&sb, "\tld1d { z%d.d }, p0/z, [x1, z8.d]\n", dst)
+			}
+		case VecAdd:
+			emitA3(&sb, "fadd", v, dst, latency)
+		case VecMul:
+			emitA3(&sb, "fmul", v, dst, latency)
+		case VecFMA:
+			if latency {
+				// Chain through the multiplicand (vn), not the
+				// accumulator, which Neoverse V2 forwards early.
+				fmt.Fprintf(&sb, "\tfmla %s, %s, %s\n", v((i+1)%8), v(i%8), v(8))
+			} else {
+				fmt.Fprintf(&sb, "\tfmla %s, %s, %s\n", v(dst), v(8), v(9))
+			}
+		case VecDiv:
+			emitA3(&sb, "fdiv", v, dst, latency)
+		case ScalarAdd:
+			emitA3(&sb, "fadd", d, dst, latency)
+		case ScalarMul:
+			emitA3(&sb, "fmul", d, dst, latency)
+		case ScalarFMA:
+			if latency {
+				fmt.Fprintf(&sb, "\tfmadd %s, %s, %s, %s\n", d(0), d(0), d(8), d(9))
+			} else {
+				fmt.Fprintf(&sb, "\tfmadd %s, %s, %s, %s\n", d(dst), d(8), d(9), d(10+i%4))
+			}
+		case ScalarDiv:
+			emitA3(&sb, "fdiv", d, dst, latency)
+		}
+	}
+	sb.WriteString("\tsubs x4, x4, #1\n\tb.ne .L0\n")
+	return sb.String()
+}
+
+func emitA3(sb *strings.Builder, op string, r func(int) string, dst int, latency bool) {
+	if latency {
+		fmt.Fprintf(sb, "\t%s %s, %s, %s\n", op, r(0), r(0), r(8))
+		return
+	}
+	fmt.Fprintf(sb, "\t%s %s, %s, %s\n", op, r(dst), r(8), r(9))
+}

@@ -1,0 +1,79 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Marker conventions recognized by ExtractMarkedRegion. OSACA and
+// kerncraft mark the kernel loop in a larger listing with comment
+// markers; IACA uses magic byte sequences that compilers emit as the
+// moves below.
+var (
+	beginMarkers = []string{
+		"OSACA-BEGIN",
+		"LLVM-MCA-BEGIN",
+		"IACA START",
+	}
+	endMarkers = []string{
+		"OSACA-END",
+		"LLVM-MCA-END",
+		"IACA END",
+	}
+	// IACA's byte-level markers appear as these instructions.
+	iacaBeginInstr = "movl $111, %ebx"
+	iacaEndInstr   = "movl $222, %ebx"
+)
+
+// ExtractMarkedRegion returns the lines between a begin and an end marker
+// if the source contains any recognized marker pair, or the input
+// unchanged when no markers are present. An unmatched begin or end marker
+// is an error.
+func ExtractMarkedRegion(src string) (string, error) {
+	lines := strings.Split(src, "\n")
+	begin, end := -1, -1
+	for i, line := range lines {
+		if isMarkerLine(line, beginMarkers, iacaBeginInstr) {
+			if begin >= 0 {
+				return "", fmt.Errorf("isa: duplicate begin marker at line %d", i+1)
+			}
+			begin = i
+		}
+		if isMarkerLine(line, endMarkers, iacaEndInstr) {
+			if end >= 0 {
+				return "", fmt.Errorf("isa: duplicate end marker at line %d", i+1)
+			}
+			end = i
+		}
+	}
+	switch {
+	case begin < 0 && end < 0:
+		return src, nil
+	case begin < 0:
+		return "", fmt.Errorf("isa: end marker without begin marker")
+	case end < 0:
+		return "", fmt.Errorf("isa: begin marker without end marker")
+	case end <= begin:
+		return "", fmt.Errorf("isa: end marker before begin marker")
+	}
+	return strings.Join(lines[begin+1:end], "\n"), nil
+}
+
+func isMarkerLine(line string, comments []string, instr string) bool {
+	trimmed := strings.TrimSpace(line)
+	for _, c := range comments {
+		if strings.Contains(trimmed, c) {
+			return true
+		}
+	}
+	return strings.HasPrefix(trimmed, instr)
+}
+
+// ParseMarkedBlock extracts the marked region (if any) and parses it.
+func ParseMarkedBlock(name, arch string, d Dialect, src string) (*Block, error) {
+	region, err := ExtractMarkedRegion(src)
+	if err != nil {
+		return nil, err
+	}
+	return ParseBlock(name, arch, d, region)
+}

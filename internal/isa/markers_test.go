@@ -1,0 +1,95 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+const markedSrc = `
+	pushq %rbp
+	movq %rsp, %rbp
+	# OSACA-BEGIN
+.L0:
+	vaddpd %ymm1, %ymm2, %ymm3
+	jne .L0
+	# OSACA-END
+	popq %rbp
+	ret
+`
+
+func TestExtractMarkedRegion(t *testing.T) {
+	region, err := ExtractMarkedRegion(markedSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(region, "vaddpd") {
+		t.Errorf("region missing kernel: %q", region)
+	}
+	if strings.Contains(region, "pushq") || strings.Contains(region, "ret") {
+		t.Errorf("region contains surrounding code: %q", region)
+	}
+}
+
+func TestExtractWithoutMarkersPassesThrough(t *testing.T) {
+	src := "\tvaddpd %ymm1, %ymm2, %ymm3\n"
+	region, err := ExtractMarkedRegion(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if region != src {
+		t.Error("marker-free input must pass through unchanged")
+	}
+}
+
+func TestExtractMarkerErrors(t *testing.T) {
+	cases := []string{
+		"# OSACA-BEGIN\n\tnop\n",                      // missing end
+		"\tnop\n# OSACA-END\n",                        // missing begin
+		"# OSACA-END\n\tnop\n# OSACA-BEGIN\n",         // reversed
+		"# OSACA-BEGIN\n# OSACA-BEGIN\n# OSACA-END\n", // duplicate begin
+		"# OSACA-BEGIN\n# OSACA-END\n# OSACA-END\n",   // duplicate end
+	}
+	for _, src := range cases {
+		if _, err := ExtractMarkedRegion(src); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}
+
+func TestLLVMMCAMarkers(t *testing.T) {
+	src := "# LLVM-MCA-BEGIN kernel\n\tfadd d0, d1, d2\n# LLVM-MCA-END\n"
+	region, err := ExtractMarkedRegion(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(region, "fadd") {
+		t.Errorf("region = %q", region)
+	}
+}
+
+func TestIACAByteMarkers(t *testing.T) {
+	src := "\tmovl $111, %ebx\n\tvaddpd %ymm1, %ymm2, %ymm3\n\tmovl $222, %ebx\n"
+	region, err := ExtractMarkedRegion(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(region, "vaddpd") || strings.Contains(region, "movl") {
+		t.Errorf("region = %q", region)
+	}
+}
+
+func TestParseMarkedBlock(t *testing.T) {
+	b, err := ParseMarkedBlock("t", "goldencove", DialectX86, markedSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 2 {
+		t.Errorf("marked block length = %d, want 2", b.Len())
+	}
+	// Surrounding code (pushq/ret) must not appear.
+	for _, in := range b.Instrs {
+		if in.Mnemonic == "pushq" || in.Mnemonic == "ret" {
+			t.Error("surrounding code leaked into the block")
+		}
+	}
+}

@@ -1,0 +1,260 @@
+package isa
+
+import (
+	"testing"
+)
+
+func effectsOf(t *testing.T, d Dialect, src string) Effects {
+	t.Helper()
+	b := mustParse(t, d, src)
+	return InstrEffects(&b.Instrs[0], d)
+}
+
+func hasRead(e Effects, k RegKey) bool {
+	for _, r := range e.Reads {
+		if r == k {
+			return true
+		}
+	}
+	return false
+}
+
+func hasWrite(e Effects, k RegKey) bool {
+	for _, w := range e.Writes {
+		if w == k {
+			return true
+		}
+	}
+	return false
+}
+
+func vecKey(id int) RegKey { return RegKey{Class: ClassVec, ID: id} }
+func gprKey(id int) RegKey { return RegKey{Class: ClassGPR, ID: id} }
+func flagsKey() RegKey     { return RegKey{Class: ClassFlags, ID: 0} }
+
+func TestX86ALUReadsDest(t *testing.T) {
+	// addq $4, %rax: rax read and written, flags written.
+	e := effectsOf(t, DialectX86, "\taddq $4, %rax\n")
+	if !hasRead(e, gprKey(0)) || !hasWrite(e, gprKey(0)) {
+		t.Errorf("addq effects: %+v", e)
+	}
+	if !hasWrite(e, flagsKey()) {
+		t.Error("addq must write flags")
+	}
+}
+
+func TestX86MoveDoesNotReadDest(t *testing.T) {
+	e := effectsOf(t, DialectX86, "\tmovq %rbx, %rax\n")
+	if hasRead(e, gprKey(0)) {
+		t.Error("movq must not read its destination")
+	}
+	if !hasRead(e, gprKey(3)) || !hasWrite(e, gprKey(0)) {
+		t.Errorf("movq effects: %+v", e)
+	}
+}
+
+func TestX86ThreeOperandVEXDoesNotReadDest(t *testing.T) {
+	e := effectsOf(t, DialectX86, "\tvaddpd %ymm1, %ymm2, %ymm3\n")
+	if hasRead(e, vecKey(3)) {
+		t.Error("vaddpd must not read its destination")
+	}
+	if !hasRead(e, vecKey(1)) || !hasRead(e, vecKey(2)) {
+		t.Errorf("vaddpd must read both sources: %+v", e)
+	}
+}
+
+func TestX86FMAReadsDest(t *testing.T) {
+	e := effectsOf(t, DialectX86, "\tvfmadd231pd %ymm1, %ymm2, %ymm3\n")
+	if !hasRead(e, vecKey(3)) {
+		t.Error("vfmadd231pd must read its destination (accumulator)")
+	}
+}
+
+func TestX86TwoOperandSSEReadsDest(t *testing.T) {
+	e := effectsOf(t, DialectX86, "\taddpd %xmm1, %xmm2\n")
+	if !hasRead(e, vecKey(2)) || !hasWrite(e, vecKey(2)) {
+		t.Errorf("addpd must read+write dest: %+v", e)
+	}
+}
+
+func TestX86CmpWritesOnlyFlags(t *testing.T) {
+	e := effectsOf(t, DialectX86, "\tcmpq %rbx, %rax\n")
+	if !hasWrite(e, flagsKey()) {
+		t.Error("cmp must write flags")
+	}
+	if hasWrite(e, gprKey(0)) || hasWrite(e, gprKey(3)) {
+		t.Error("cmp must not write GPRs")
+	}
+}
+
+func TestX86BranchReadsFlags(t *testing.T) {
+	e := effectsOf(t, DialectX86, "\tjne .L0\n")
+	if !hasRead(e, flagsKey()) {
+		t.Error("jne must read flags")
+	}
+	e = effectsOf(t, DialectX86, "\tjmp .L0\n")
+	if hasRead(e, flagsKey()) {
+		t.Error("jmp must not read flags")
+	}
+}
+
+func TestX86LoadStore(t *testing.T) {
+	ld := effectsOf(t, DialectX86, "\tvmovupd (%rsi,%rax,8), %ymm0\n")
+	if !ld.ReadsMem() || ld.WritesMem() {
+		t.Errorf("load mem effects: %+v", ld)
+	}
+	if !hasRead(ld, gprKey(6)) || !hasRead(ld, gprKey(0)) {
+		t.Error("load must read base and index registers")
+	}
+	st := effectsOf(t, DialectX86, "\tvmovupd %ymm0, (%rdi,%rax,8)\n")
+	if st.ReadsMem() || !st.WritesMem() {
+		t.Errorf("store mem effects: %+v", st)
+	}
+	if !hasRead(st, vecKey(0)) {
+		t.Error("store must read its data register")
+	}
+}
+
+func TestX86ZeroIdiom(t *testing.T) {
+	e := effectsOf(t, DialectX86, "\tvxorpd %ymm0, %ymm0, %ymm0\n")
+	if hasRead(e, vecKey(0)) {
+		t.Error("vxorpd x,x,x is a zero idiom: no reads")
+	}
+	if !hasWrite(e, vecKey(0)) {
+		t.Error("zero idiom must still write")
+	}
+	e = effectsOf(t, DialectX86, "\txorq %rax, %rax\n")
+	if hasRead(e, gprKey(0)) {
+		t.Error("xor r,r is a zero idiom: no reads")
+	}
+}
+
+func TestX86GatherEffects(t *testing.T) {
+	e := effectsOf(t, DialectX86, "\tvgatherqpd %ymm2, (%rsi,%ymm1,8), %ymm0\n")
+	if !e.ReadsMem() {
+		t.Error("gather must read memory")
+	}
+	if !hasRead(e, vecKey(1)) {
+		t.Error("gather must read its index vector")
+	}
+	if !hasWrite(e, vecKey(0)) {
+		t.Error("gather must write its destination")
+	}
+}
+
+func TestAArch64ALU(t *testing.T) {
+	e := effectsOf(t, DialectAArch64, "\tadd x0, x1, x2\n")
+	if hasRead(e, gprKey(0)) {
+		t.Error("add must not read dest (3-operand)")
+	}
+	if !hasRead(e, gprKey(1)) || !hasRead(e, gprKey(2)) || !hasWrite(e, gprKey(0)) {
+		t.Errorf("add effects: %+v", e)
+	}
+}
+
+func TestAArch64FMLAReadsDest(t *testing.T) {
+	e := effectsOf(t, DialectAArch64, "\tfmla v0.2d, v1.2d, v2.2d\n")
+	if !hasRead(e, vecKey(0)) {
+		t.Error("fmla must read its destination (destructive accumulate)")
+	}
+}
+
+func TestAArch64FmaddDoesNotReadDest(t *testing.T) {
+	e := effectsOf(t, DialectAArch64, "\tfmadd d0, d1, d2, d3\n")
+	if hasRead(e, vecKey(0)) {
+		t.Error("fmadd dest is write-only (addend is operand 3)")
+	}
+	if !hasRead(e, vecKey(3)) {
+		t.Error("fmadd must read its addend d3")
+	}
+}
+
+func TestAArch64LoadStore(t *testing.T) {
+	ld := effectsOf(t, DialectAArch64, "\tldr q0, [x1, x3]\n")
+	if !ld.ReadsMem() || !hasWrite(ld, vecKey(0)) {
+		t.Errorf("ldr effects: %+v", ld)
+	}
+	if !hasRead(ld, gprKey(1)) || !hasRead(ld, gprKey(3)) {
+		t.Error("ldr must read address registers")
+	}
+	st := effectsOf(t, DialectAArch64, "\tstr q0, [x0]\n")
+	if !st.WritesMem() || !hasRead(st, vecKey(0)) {
+		t.Errorf("str effects: %+v", st)
+	}
+	ldp := effectsOf(t, DialectAArch64, "\tldp d0, d1, [x1]\n")
+	if !hasWrite(ldp, vecKey(0)) || !hasWrite(ldp, vecKey(1)) {
+		t.Errorf("ldp must write both destinations: %+v", ldp)
+	}
+}
+
+func TestAArch64PostIndexWritesBase(t *testing.T) {
+	e := effectsOf(t, DialectAArch64, "\tldr d0, [x1], #8\n")
+	if !hasWrite(e, gprKey(1)) {
+		t.Error("post-index load must write its base register")
+	}
+}
+
+func TestAArch64CmpBranch(t *testing.T) {
+	cmp := effectsOf(t, DialectAArch64, "\tcmp x3, x4\n")
+	if !hasWrite(cmp, flagsKey()) {
+		t.Error("cmp must write flags")
+	}
+	bne := effectsOf(t, DialectAArch64, "\tb.ne .L0\n")
+	if !hasRead(bne, flagsKey()) {
+		t.Error("b.ne must read flags")
+	}
+	cbnz := effectsOf(t, DialectAArch64, "\tcbnz x3, .L0\n")
+	if !hasRead(cbnz, gprKey(3)) {
+		t.Error("cbnz must read its register")
+	}
+}
+
+func TestAArch64SubsWritesFlags(t *testing.T) {
+	e := effectsOf(t, DialectAArch64, "\tsubs x4, x4, #1\n")
+	if !hasWrite(e, flagsKey()) || !hasWrite(e, gprKey(4)) || !hasRead(e, gprKey(4)) {
+		t.Errorf("subs effects: %+v", e)
+	}
+}
+
+func TestAArch64WhileloWritesPredicateAndFlags(t *testing.T) {
+	e := effectsOf(t, DialectAArch64, "\twhilelo p0.d, x3, x4\n")
+	if !hasWrite(e, RegKey{Class: ClassPred, ID: 0}) {
+		t.Error("whilelo must write its predicate")
+	}
+	if !hasWrite(e, flagsKey()) {
+		t.Error("whilelo must write flags")
+	}
+	if !hasRead(e, gprKey(3)) || !hasRead(e, gprKey(4)) {
+		t.Error("whilelo must read both bounds")
+	}
+}
+
+func TestAArch64SVEGather(t *testing.T) {
+	e := effectsOf(t, DialectAArch64, "\tld1d { z0.d }, p0/z, [x1, z1.d]\n")
+	if !e.ReadsMem() {
+		t.Error("SVE gather must read memory")
+	}
+	if !hasRead(e, vecKey(1)) {
+		t.Error("SVE gather must read its vector index")
+	}
+	if !hasWrite(e, vecKey(0)) {
+		t.Error("SVE gather must write its destination")
+	}
+}
+
+func TestZeroRegisterCarriesNoDeps(t *testing.T) {
+	e := effectsOf(t, DialectAArch64, "\tadd x0, xzr, x2\n")
+	if hasRead(e, gprKey(32)) {
+		t.Error("xzr reads must not appear as dependencies")
+	}
+}
+
+func TestStoreAddressRegsAreReads(t *testing.T) {
+	e := effectsOf(t, DialectX86, "\tvmovntpd %zmm0, (%rdi,%rax,8)\n")
+	if !hasRead(e, gprKey(7)) || !hasRead(e, gprKey(0)) {
+		t.Errorf("NT store must read address registers: %+v", e)
+	}
+	if !e.WritesMem() {
+		t.Error("NT store must write memory")
+	}
+}

@@ -1,0 +1,462 @@
+package kernels
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// aarch64Emitter generates AArch64 loop bodies (NEON, SVE, scalar).
+//
+// Register conventions:
+//
+//	x3  loop index (elements)        x4  loop bound / end pointer
+//	x0  destination base             x1, x2, x14  source bases
+//	x5..x13  stencil row bases (pre-offset where needed)
+//	v/z/d 0..8  work registers and accumulators
+//	   11: 4.0   12: 1.0   13: 0.5   14: dx   15: s / coefficient
+//	   9: iota vector, 10: iota step (vectorized π)
+//	p0  governing SVE predicate
+//
+// Addressing styles: scalar gcc code indexes with [base, x3, lsl #3];
+// NEON code uses pointer-bumped bases with immediate offsets; SVE code
+// (armclang) uses element-indexed [base, x3, lsl #3] with a whilelo
+// predicated loop. armclang emits NEON for the stencil kernels (fixed
+// vector length favors immediate-offset addressing) and SVE for the
+// streaming kernels.
+type aarch64Emitter struct {
+	sb   strings.Builder
+	p    genParams
+	mode aMode
+	used map[string]bool
+}
+
+type aMode int
+
+const (
+	aScalarIndexed aMode = iota // gcc -O1 style
+	aScalarPointer              // armclang scalar
+	aNEON                       // pointer-bumped NEON
+	aSVE                        // whilelo-predicated SVE
+)
+
+func (e *aarch64Emitter) f(format string, args ...interface{}) {
+	fmt.Fprintf(&e.sb, format, args...)
+	e.sb.WriteByte('\n')
+}
+
+// vreg names vector/scalar register i in the current mode.
+func (e *aarch64Emitter) vreg(i int) string {
+	switch e.mode {
+	case aSVE:
+		return fmt.Sprintf("z%d.d", i)
+	case aNEON:
+		return fmt.Sprintf("v%d.2d", i)
+	default:
+		return fmt.Sprintf("d%d", i)
+	}
+}
+
+// lanes per register in the current mode.
+func (e *aarch64Emitter) lanes() int {
+	if e.mode == aNEON || e.mode == aSVE {
+		return 2 // 128-bit vectors on Neoverse V2
+	}
+	return 1
+}
+
+// mem renders an address for unroll lane u plus a byte offset.
+func (e *aarch64Emitter) mem(base string, u, extra int) string {
+	e.used[base] = true
+	switch e.mode {
+	case aScalarIndexed, aSVE:
+		// Indexed by x3 (elements). Byte offsets must be baked into
+		// pre-offset base registers by the caller.
+		if extra != 0 {
+			panic("aarch64: indexed mode cannot take immediate offsets")
+		}
+		_ = u
+		return fmt.Sprintf("[%s, x3, lsl #3]", base)
+	default:
+		disp := u*e.vecBytes() + extra
+		if disp == 0 {
+			return fmt.Sprintf("[%s]", base)
+		}
+		return fmt.Sprintf("[%s, #%d]", base, disp)
+	}
+}
+
+func (e *aarch64Emitter) vecBytes() int {
+	return e.lanes() * 8
+}
+
+// load emits a load of lane u.
+func (e *aarch64Emitter) load(base string, u, extra int, dst int) {
+	switch e.mode {
+	case aSVE:
+		e.f("\tld1d { %s }, p0/z, %s", e.vreg(dst), e.mem(base, u, extra))
+	case aNEON:
+		mn := "ldr"
+		if extra < 0 {
+			mn = "ldur"
+		}
+		e.f("\t%s q%d, %s", mn, dst, e.mem(base, u, extra))
+	default:
+		mn := "ldr"
+		if extra < 0 && e.mode == aScalarPointer {
+			mn = "ldur"
+		}
+		e.f("\t%s d%d, %s", mn, dst, e.mem(base, u, extra))
+	}
+}
+
+// store emits a store of register src.
+func (e *aarch64Emitter) store(src int, base string, u, extra int) {
+	switch e.mode {
+	case aSVE:
+		e.f("\tst1d { %s }, p0, %s", e.vreg(src), e.mem(base, u, extra))
+	case aNEON:
+		mn := "str"
+		if extra < 0 {
+			mn = "stur"
+		}
+		e.f("\t%s q%d, %s", mn, src, e.mem(base, u, extra))
+	default:
+		mn := "str"
+		if extra < 0 {
+			mn = "stur"
+		}
+		e.f("\t%s d%d, %s", mn, src, e.mem(base, u, extra))
+	}
+}
+
+// op3 emits "mn dst, a, b".
+func (e *aarch64Emitter) op3(mn string, dst, a, b int) {
+	e.f("\t%s %s, %s, %s", mn, e.vreg(dst), e.vreg(a), e.vreg(b))
+}
+
+// close emits the induction update and the loop branch.
+func (e *aarch64Emitter) close() {
+	if e.used["__closed"] {
+		return
+	}
+	elems := e.lanes() * e.p.unroll
+	switch e.mode {
+	case aScalarIndexed:
+		e.f("\tadd x3, x3, #%d", elems)
+		e.f("\tcmp x3, x4")
+		e.f("\tb.ne .L0")
+	case aSVE:
+		e.f("\tincd x3")
+		e.f("\twhilelo p0.d, x3, x4")
+		e.f("\tb.first .L0")
+	default:
+		bases := make([]string, 0, len(e.used))
+		for b := range e.used {
+			bases = append(bases, b)
+		}
+		sort.Strings(bases)
+		if len(bases) == 0 {
+			// No memory streams (π): plain counter loop.
+			e.f("\tadd x3, x3, #%d", elems)
+			e.f("\tcmp x3, x4")
+			e.f("\tb.ne .L0")
+			return
+		}
+		for _, b := range bases {
+			e.f("\tadd %s, %s, #%d", b, b, elems*8)
+		}
+		cmpBase := "x1"
+		if !e.used["x1"] {
+			cmpBase = "x0"
+		}
+		e.f("\tcmp %s, x4", cmpBase)
+		e.f("\tb.ne .L0")
+	}
+}
+
+// stencilKind reports whether a kernel is a stencil (armclang emits NEON
+// rather than SVE for these).
+func stencilKind(k Kind) bool {
+	switch k {
+	case KindJ2D5, KindJ3D7, KindJ3D11, KindJ3D27, KindGS2D5:
+		return true
+	}
+	return false
+}
+
+// emitAArch64 dispatches on kernel kind.
+func emitAArch64(k *Kernel, p genParams) (string, error) {
+	e := &aarch64Emitter{p: p, used: map[string]bool{}}
+	switch {
+	case p.scalar && p.sve:
+		e.mode = aScalarPointer
+	case p.scalar:
+		e.mode = aScalarIndexed
+	case p.sve && !stencilKind(k.Kind):
+		e.mode = aSVE
+		e.p.unroll = 1 // whilelo loops stay rolled
+	default:
+		e.mode = aNEON
+	}
+	if k.Kind == KindGS2D5 {
+		// The Gauss-Seidel chain needs immediate offsets off the store
+		// base for its memory round trip; use pointer addressing.
+		e.mode = aScalarPointer
+	}
+	if stencilKind(k.Kind) && e.mode == aScalarIndexed {
+		// Stencil neighbor offsets along the contiguous dimension need
+		// immediate displacements; indexed addressing would require a
+		// pre-offset base per (plane, offset) pair. Compilers emit
+		// pointer-bumped code here.
+		e.mode = aScalarPointer
+	}
+	e.f(".L0:")
+	U := e.p.unroll
+	switch k.Kind {
+	case KindCopy:
+		for u := 0; u < U; u++ {
+			e.load("x1", u, 0, u)
+		}
+		for u := 0; u < U; u++ {
+			e.store(u, "x0", u, 0)
+		}
+
+	case KindInit:
+		for u := 0; u < U; u++ {
+			e.store(15, "x0", u, 0)
+		}
+
+	case KindUpdate:
+		for u := 0; u < U; u++ {
+			e.load("x1", u, 0, u)
+			e.op3("fmul", u, u, 15)
+			e.store(u, "x1", u, 0)
+		}
+
+	case KindAdd:
+		for u := 0; u < U; u++ {
+			e.load("x1", u, 0, u)
+			e.load("x2", u, 0, u+U)
+			e.op3("fadd", u, u, u+U)
+			e.store(u, "x0", u, 0)
+		}
+
+	case KindStriad:
+		// a = b + s*c
+		for u := 0; u < U; u++ {
+			e.load("x1", u, 0, u)   // b
+			e.load("x2", u, 0, u+U) // c
+			if e.p.fma {
+				e.fmla(u, u+U, 15)
+			} else {
+				e.op3("fmul", u+U, u+U, 15)
+				e.op3("fadd", u, u, u+U)
+			}
+			e.store(u, "x0", u, 0)
+		}
+
+	case KindSchTriad:
+		// a = b + c*d
+		for u := 0; u < U; u++ {
+			e.load("x1", u, 0, u)
+			e.load("x2", u, 0, u+U)
+			e.load("x14", u, 0, u+2*U)
+			if e.p.fma {
+				e.fmla(u, u+U, u+2*U)
+			} else {
+				e.op3("fmul", u+U, u+U, u+2*U)
+				e.op3("fadd", u, u, u+U)
+			}
+			e.store(u, "x0", u, 0)
+		}
+
+	case KindSum:
+		for u := 0; u < U; u++ {
+			e.load("x1", u, 0, e.p.accs+u)
+			acc := u % e.p.accs
+			e.op3("fadd", acc, acc, e.p.accs+u)
+		}
+
+	case KindPi:
+		emitPiAArch64(e)
+
+	case KindJ2D5:
+		emitStencilAArch64(e, []rowRef{{"x1", -8}, {"x1", 8}, {"x5", 0}, {"x6", 0}}, U)
+
+	case KindJ3D7:
+		emitStencilAArch64(e, []rowRef{
+			{"x1", -8}, {"x1", 8}, {"x5", 0}, {"x6", 0}, {"x7", 0}, {"x8", 0},
+		}, U)
+
+	case KindJ3D11:
+		emitStencilAArch64(e, []rowRef{
+			{"x1", -16}, {"x1", -8}, {"x1", 0}, {"x1", 8}, {"x1", 16},
+			{"x5", 0}, {"x6", 0}, {"x7", 0}, {"x8", 0}, {"x9", 0}, {"x10", 0},
+		}, U)
+
+	case KindJ3D27:
+		var rows []rowRef
+		for _, b := range []string{"x1", "x2", "x5", "x6", "x7", "x8", "x9", "x10", "x11"} {
+			for _, off := range []int{-8, 0, 8} {
+				rows = append(rows, rowRef{b, off})
+			}
+		}
+		emitStencilAArch64(e, rows, U)
+
+	case KindGS2D5:
+		emitGSAArch64(e)
+
+	default:
+		return "", fmt.Errorf("emitAArch64: unhandled kernel kind %d", k.Kind)
+	}
+	e.close()
+	return e.sb.String(), nil
+}
+
+type rowRef struct {
+	base  string
+	extra int
+}
+
+// fmla emits a fused multiply-accumulate acc += a*b in the current mode.
+func (e *aarch64Emitter) fmla(acc, a, b int) {
+	switch e.mode {
+	case aSVE:
+		e.f("\tfmla %s, p0/m, %s, %s", e.vreg(acc), e.vreg(a), e.vreg(b))
+	case aNEON:
+		e.f("\tfmla %s, %s, %s", e.vreg(acc), e.vreg(a), e.vreg(b))
+	default:
+		// fmadd dd, dn, dm, da : dd = dn*dm + da
+		e.f("\tfmadd %s, %s, %s, %s", e.vreg(acc), e.vreg(a), e.vreg(b), e.vreg(acc))
+	}
+}
+
+// emitStencilAArch64 generates a neighbor-sum stencil. In indexed/SVE
+// modes immediate offsets are not available, so neighbor offsets along
+// the contiguous dimension use pre-offset base registers x12/x13 (±8) and
+// x15/x16 (±16), set up outside the loop.
+func emitStencilAArch64(e *aarch64Emitter, rows []rowRef, U int) {
+	resolve := func(r rowRef) (string, int) {
+		if e.mode != aScalarIndexed && e.mode != aSVE {
+			return r.base, r.extra
+		}
+		switch r.extra {
+		case 0:
+			return r.base, 0
+		case -8:
+			return "x12", 0
+		case 8:
+			return "x13", 0
+		case -16:
+			return "x15", 0
+		case 16:
+			return "x16", 0
+		default:
+			return r.base, 0
+		}
+	}
+	for u := 0; u < U; u++ {
+		b0, x0 := resolve(rows[0])
+		e.load(b0, u, x0, u)
+		for _, r := range rows[1:] {
+			b, x := resolve(r)
+			e.load(b, u, x, u+U)
+			e.op3("fadd", u, u, u+U)
+		}
+		e.op3("fmul", u, u, 15)
+		e.store(u, "x0", u, 0)
+	}
+}
+
+// emitPiAArch64 generates the π-by-integration body.
+func emitPiAArch64(e *aarch64Emitter) {
+	if e.mode == aScalarIndexed || e.mode == aScalarPointer {
+		e.f("\tscvtf d1, x3")
+		e.f("\tfadd d1, d1, d13")
+		e.f("\tfmul d1, d1, d14")
+		if e.p.fma {
+			e.f("\tfmadd d1, d1, d1, d12")
+		} else {
+			e.f("\tfmul d1, d1, d1")
+			e.f("\tfadd d1, d1, d12")
+		}
+		e.f("\tfdiv d1, d11, d1")
+		e.f("\tfadd d0, d0, d1")
+		if e.mode == aScalarPointer {
+			// π touches no arrays; index in x3 regardless.
+			e.f("\tadd x3, x3, #1")
+			e.f("\tcmp x3, x4")
+			e.f("\tb.ne .L0")
+			e.trim()
+		}
+		return
+	}
+	U := e.p.unroll
+	for u := 0; u < U; u++ {
+		t := 4 + u%4
+		e.op3("fmul", t, 9, 14) // x = iota*dx
+		e.op3("fmul", t, t, t)  // x*x
+		e.op3("fadd", t, t, 12) // +1
+		if e.mode == aSVE {
+			// Reverse divide: t = 4.0 / t.
+			e.f("\tfdivr %s, p0/m, %s, %s", e.vreg(t), e.vreg(t), e.vreg(11))
+		} else {
+			e.f("\tfdiv %s, %s, %s", e.vreg(t), e.vreg(11), e.vreg(t))
+		}
+		acc := u % e.p.accs
+		e.op3("fadd", acc, acc, t)
+		e.op3("fadd", 9, 9, 10) // iota += lanes
+	}
+}
+
+// trim marks that the emitter already closed the loop (π scalar-pointer
+// special case emits its own induction); close() becomes a no-op via a
+// sentinel in used.
+func (e *aarch64Emitter) trim() { e.used["__closed"] = true }
+
+// emitGSAArch64 generates the Gauss-Seidel shapes (see emitGSX86 for the
+// three-variant rationale). Always pointer-addressed: the memory round
+// trip needs immediate offsets off the store base.
+func emitGSAArch64(e *aarch64Emitter) {
+	switch {
+	case e.p.gsMemRoundTrip:
+		e.f("\tldur d1, [x1, #-8]")
+		e.f("\tldr d2, [x1, #8]")
+		e.f("\tfadd d1, d1, d2")
+		e.f("\tldr d2, [x5]")
+		e.f("\tfadd d1, d1, d2")
+		e.f("\tldr d2, [x6]")
+		e.f("\tfadd d1, d1, d2")
+		e.f("\tfmul d1, d1, d15")
+		e.f("\tstr d1, [x1]")
+		e.used["x1"] = true
+		e.used["x5"] = true
+		e.used["x6"] = true
+	case e.p.gsFMA:
+		e.f("\tldr d1, [x5]")
+		e.f("\tldr d2, [x6]")
+		e.f("\tfadd d1, d1, d2")
+		e.f("\tldr d2, [x1, #8]")
+		e.f("\tfadd d1, d1, d2")
+		e.f("\tfmul d1, d1, d15")      // t = 0.25*sum3
+		e.f("\tfmadd d1, d0, d15, d1") // d1 = prev*0.25 + t
+		e.f("\tstr d1, [x1]")
+		e.f("\tfmov d0, d1")
+		e.used["x1"] = true
+		e.used["x5"] = true
+		e.used["x6"] = true
+	default:
+		e.f("\tldr d1, [x5]")
+		e.f("\tldr d2, [x6]")
+		e.f("\tfadd d1, d1, d2")
+		e.f("\tldr d2, [x1, #8]")
+		e.f("\tfadd d1, d1, d2")
+		e.f("\tfadd d1, d1, d0")
+		e.f("\tfmul d0, d1, d15")
+		e.f("\tstr d0, [x1]")
+		e.used["x1"] = true
+		e.used["x5"] = true
+		e.used["x6"] = true
+	}
+}

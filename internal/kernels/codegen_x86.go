@@ -1,0 +1,376 @@
+package kernels
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// x86Emitter generates AT&T-syntax loop bodies.
+//
+// Register conventions (fixed across all kernels):
+//
+//	%rax  loop index (elements)      %rbx  loop bound / end pointer
+//	%rdi  destination base           %rsi, %rdx, %rcx  source bases
+//	%r8..%r14  stencil row bases
+//	%xmm/ymm/zmm0..9   work registers and accumulators
+//	   11: 4.0   12: 1.0   13: 0.5   14: dx   15: s / stencil coefficient
+//	   9: iota vector, 10: iota step (vectorized π)
+//
+// Constants are loaded outside the measured loop body, as compilers do.
+type x86Emitter struct {
+	sb    strings.Builder
+	p     genParams
+	bytes int // bytes per vector register access
+	used  map[string]bool
+}
+
+func newX86Emitter(p genParams) *x86Emitter {
+	b := 8
+	if !p.scalar {
+		b = p.vecBits / 8
+	}
+	return &x86Emitter{p: p, bytes: b, used: map[string]bool{}}
+}
+
+func (e *x86Emitter) f(format string, args ...interface{}) {
+	fmt.Fprintf(&e.sb, format, args...)
+	e.sb.WriteByte('\n')
+}
+
+// vr names work register i at the current width.
+func (e *x86Emitter) vr(i int) string {
+	pfx := "xmm"
+	if !e.p.scalar {
+		switch e.p.vecBits {
+		case 256:
+			pfx = "ymm"
+		case 512:
+			pfx = "zmm"
+		}
+	}
+	return fmt.Sprintf("%%%s%d", pfx, i)
+}
+
+// op returns the packed or scalar form of an arithmetic mnemonic.
+func (e *x86Emitter) op(base string) string {
+	if e.p.scalar {
+		return "v" + base + "sd"
+	}
+	return "v" + base + "pd"
+}
+
+func (e *x86Emitter) movOp() string {
+	if e.p.scalar {
+		return "vmovsd"
+	}
+	return "vmovupd"
+}
+
+// mem renders an address for unroll lane u with an extra byte offset.
+func (e *x86Emitter) mem(base string, u int, extra int) string {
+	e.used[base] = true
+	disp := u*e.bytes + extra
+	if e.p.indexed {
+		if disp == 0 {
+			return fmt.Sprintf("(%%%s,%%rax,8)", base)
+		}
+		return fmt.Sprintf("%d(%%%s,%%rax,8)", disp, base)
+	}
+	if disp == 0 {
+		return fmt.Sprintf("(%%%s)", base)
+	}
+	return fmt.Sprintf("%d(%%%s)", disp, base)
+}
+
+// load emits a plain load into a register.
+func (e *x86Emitter) load(base string, u, extra int, dst string) {
+	e.f("\t%s %s, %s", e.movOp(), e.mem(base, u, extra), dst)
+}
+
+// store emits a store.
+func (e *x86Emitter) store(src, base string, u, extra int) {
+	e.f("\t%s %s, %s", e.movOp(), src, e.mem(base, u, extra))
+}
+
+// arith2 emits "op src2, src1, dst" with src2 a memory ref when folding is
+// enabled, otherwise via a scratch load.
+func (e *x86Emitter) arith2Mem(op, base string, u, extra int, src1, dst, scratch string) {
+	if e.p.foldMem {
+		e.f("\t%s %s, %s, %s", op, e.mem(base, u, extra), src1, dst)
+		return
+	}
+	e.load(base, u, extra, scratch)
+	e.f("\t%s %s, %s, %s", op, scratch, src1, dst)
+}
+
+// close emits the induction update and backward branch.
+func (e *x86Emitter) close(k *Kernel) {
+	lanes := 1
+	if !e.p.scalar {
+		lanes = e.p.vecBits / 64
+	}
+	elems := lanes * e.p.unroll
+	if e.p.indexed {
+		if elems == 1 {
+			e.f("\tincq %%rax")
+		} else {
+			e.f("\taddq $%d, %%rax", elems)
+		}
+		e.f("\tcmpq %%rbx, %%rax")
+	} else {
+		bases := make([]string, 0, len(e.used))
+		for b := range e.used {
+			bases = append(bases, b)
+		}
+		sort.Strings(bases)
+		if len(bases) == 0 {
+			// No memory streams (π): plain counter loop.
+			e.f("\taddq $%d, %%rax", elems)
+			e.f("\tcmpq %%rbx, %%rax")
+			e.f("\tjne .L0")
+			return
+		}
+		for _, b := range bases {
+			e.f("\taddq $%d, %%%s", elems*8, b)
+		}
+		cmpBase := "rsi"
+		if !e.used["rsi"] {
+			cmpBase = "rdi"
+		}
+		e.f("\tcmpq %%rbx, %%%s", cmpBase)
+	}
+	e.f("\tjne .L0")
+}
+
+func (e *x86Emitter) header() { e.f(".L0:") }
+
+// emitX86 dispatches on kernel kind.
+func emitX86(k *Kernel, p genParams) (string, error) {
+	e := newX86Emitter(p)
+	e.header()
+	U := p.unroll
+	switch k.Kind {
+	case KindCopy:
+		for u := 0; u < U; u++ {
+			e.load("rsi", u, 0, e.vr(u))
+		}
+		for u := 0; u < U; u++ {
+			e.store(e.vr(u), "rdi", u, 0)
+		}
+
+	case KindInit:
+		// Source register only; no loads. The stored value lives in
+		// reg 15 (set up outside the loop).
+		for u := 0; u < U; u++ {
+			e.store(e.vr(15), "rdi", u, 0)
+		}
+
+	case KindUpdate:
+		for u := 0; u < U; u++ {
+			e.arith2Mem(e.op("mul"), "rsi", u, 0, e.vr(15), e.vr(u), e.vr(u+U))
+		}
+		for u := 0; u < U; u++ {
+			e.store(e.vr(u), "rsi", u, 0)
+		}
+
+	case KindAdd:
+		for u := 0; u < U; u++ {
+			e.load("rsi", u, 0, e.vr(u))
+			e.arith2Mem(e.op("add"), "rdx", u, 0, e.vr(u), e.vr(u), e.vr(u+U))
+			e.store(e.vr(u), "rdi", u, 0)
+		}
+
+	case KindStriad:
+		// a = b + s*c
+		for u := 0; u < U; u++ {
+			e.load("rsi", u, 0, e.vr(u)) // b
+			if p.fma {
+				if p.foldMem {
+					e.f("\t%s %s, %s, %s", e.fmaOp("vfmadd231"), e.mem("rdx", u, 0), e.vr(15), e.vr(u))
+				} else {
+					e.load("rdx", u, 0, e.vr(u+U))
+					e.f("\t%s %s, %s, %s", e.fmaOp("vfmadd231"), e.vr(u+U), e.vr(15), e.vr(u))
+				}
+			} else {
+				e.arith2Mem(e.op("mul"), "rdx", u, 0, e.vr(15), e.vr(u+U), e.vr(u+2*U))
+				e.f("\t%s %s, %s, %s", e.op("add"), e.vr(u+U), e.vr(u), e.vr(u))
+			}
+			e.store(e.vr(u), "rdi", u, 0)
+		}
+
+	case KindSchTriad:
+		// a = b + c*d
+		for u := 0; u < U; u++ {
+			e.load("rsi", u, 0, e.vr(u))   // b
+			e.load("rdx", u, 0, e.vr(u+U)) // c
+			if p.fma {
+				if p.foldMem {
+					e.f("\t%s %s, %s, %s", e.fmaOp("vfmadd231"), e.mem("rcx", u, 0), e.vr(u+U), e.vr(u))
+				} else {
+					e.load("rcx", u, 0, e.vr(u+2*U))
+					e.f("\t%s %s, %s, %s", e.fmaOp("vfmadd231"), e.vr(u+2*U), e.vr(u+U), e.vr(u))
+				}
+			} else {
+				e.arith2Mem(e.op("mul"), "rcx", u, 0, e.vr(u+U), e.vr(u+U), e.vr(u+2*U))
+				e.f("\t%s %s, %s, %s", e.op("add"), e.vr(u+U), e.vr(u), e.vr(u))
+			}
+			e.store(e.vr(u), "rdi", u, 0)
+		}
+
+	case KindSum:
+		// s += a[i]; accumulators rotate over vr(0..accs-1).
+		for u := 0; u < U; u++ {
+			acc := e.vr(u % p.accs)
+			e.arith2Mem(e.op("add"), "rsi", u, 0, acc, acc, e.vr(p.accs+u))
+		}
+
+	case KindPi:
+		emitPiX86(e, k)
+
+	case KindJ2D5:
+		for u := 0; u < U; u++ {
+			e.load("rsi", u, -8, e.vr(u))
+			e.arith2Mem(e.op("add"), "rsi", u, 8, e.vr(u), e.vr(u), e.vr(u+U))
+			e.arith2Mem(e.op("add"), "r8", u, 0, e.vr(u), e.vr(u), e.vr(u+U))
+			e.arith2Mem(e.op("add"), "r9", u, 0, e.vr(u), e.vr(u), e.vr(u+U))
+			e.f("\t%s %s, %s, %s", e.op("mul"), e.vr(15), e.vr(u), e.vr(u))
+			e.store(e.vr(u), "rdi", u, 0)
+		}
+
+	case KindJ3D7:
+		rows := []struct {
+			base  string
+			extra int
+		}{
+			{"rsi", -8}, {"rsi", 8}, {"r8", 0}, {"r9", 0}, {"r10", 0}, {"r11", 0},
+		}
+		emitStencilX86(e, rows, U)
+
+	case KindJ3D11:
+		rows := []struct {
+			base  string
+			extra int
+		}{
+			{"rsi", -16}, {"rsi", -8}, {"rsi", 0}, {"rsi", 8}, {"rsi", 16},
+			{"r8", 0}, {"r9", 0}, {"r12", 0}, {"r13", 0}, {"r10", 0}, {"r11", 0},
+		}
+		emitStencilX86(e, rows, U)
+
+	case KindJ3D27:
+		var rows []struct {
+			base  string
+			extra int
+		}
+		for _, b := range []string{"rsi", "rdx", "rcx", "r8", "r9", "r10", "r11", "r12", "r13"} {
+			for _, off := range []int{-8, 0, 8} {
+				rows = append(rows, struct {
+					base  string
+					extra int
+				}{b, off})
+			}
+		}
+		emitStencilX86(e, rows, U)
+
+	case KindGS2D5:
+		emitGSX86(e)
+
+	default:
+		return "", fmt.Errorf("emitX86: unhandled kernel kind %d", k.Kind)
+	}
+	e.close(k)
+	return e.sb.String(), nil
+}
+
+// fmaOp renders an FMA mnemonic at the current width.
+func (e *x86Emitter) fmaOp(base string) string {
+	if e.p.scalar {
+		return base + "sd"
+	}
+	return base + "pd"
+}
+
+// emitStencilX86 generates a neighbor-sum stencil: load first point, add
+// the rest, scale, store.
+func emitStencilX86(e *x86Emitter, rows []struct {
+	base  string
+	extra int
+}, U int) {
+	for u := 0; u < U; u++ {
+		e.load(rows[0].base, u, rows[0].extra, e.vr(u))
+		for _, r := range rows[1:] {
+			e.arith2Mem(e.op("add"), r.base, u, r.extra, e.vr(u), e.vr(u), e.vr(u+U))
+		}
+		e.f("\t%s %s, %s, %s", e.op("mul"), e.vr(15), e.vr(u), e.vr(u))
+		e.store(e.vr(u), "rdi", u, 0)
+	}
+}
+
+// emitPiX86 generates the π-by-integration body. Scalar variants convert
+// the loop index; vectorized variants (Ofast) keep an iota vector.
+func emitPiX86(e *x86Emitter, k *Kernel) {
+	if e.p.scalar {
+		e.f("\tvcvtsi2sdq %%rax, %%xmm7, %%xmm1")
+		e.f("\tvaddsd %%xmm13, %%xmm1, %%xmm1") // + 0.5
+		e.f("\tvmulsd %%xmm14, %%xmm1, %%xmm1") // * dx
+		if e.p.fma {
+			e.f("\tvfmadd213sd %%xmm12, %%xmm1, %%xmm1") // x*x + 1
+		} else {
+			e.f("\tvmulsd %%xmm1, %%xmm1, %%xmm1")
+			e.f("\tvaddsd %%xmm12, %%xmm1, %%xmm1")
+		}
+		e.f("\tvdivsd %%xmm1, %%xmm11, %%xmm1") // 4.0 / t
+		e.f("\tvaddsd %%xmm1, %%xmm0, %%xmm0")
+		return
+	}
+	U := e.p.unroll
+	for u := 0; u < U; u++ {
+		t := e.vr(4 + u%4)
+		e.f("\t%s %s, %s, %s", e.op("mul"), e.vr(14), e.vr(9), t) // x = iota*dx
+		if e.p.fma {
+			e.f("\t%s %s, %s, %s", e.fmaOp("vfmadd213"), e.vr(12), t, t)
+		} else {
+			e.f("\t%s %s, %s, %s", e.op("mul"), t, t, t)
+			e.f("\t%s %s, %s, %s", e.op("add"), e.vr(12), t, t)
+		}
+		e.f("\t%s %s, %s, %s", e.op("div"), t, e.vr(11), t)
+		acc := e.vr(u % e.p.accs)
+		e.f("\t%s %s, %s, %s", e.op("add"), t, acc, acc)
+		e.f("\t%s %s, %s, %s", e.op("add"), e.vr(10), e.vr(9), e.vr(9)) // iota += lanes
+	}
+}
+
+// emitGSX86 generates the Gauss-Seidel sweep. Three shapes, matching what
+// real compilers emit:
+//
+//	O1:    the previous element is re-loaded from memory (store→load
+//	       round trip carries the dependency),
+//	O2/O3: the previous element stays in %xmm0 (register-carried
+//	       add+mul chain),
+//	Ofast: FMA contraction of the carried update.
+func emitGSX86(e *x86Emitter) {
+	switch {
+	case e.p.gsFMA && !e.p.gsMemRoundTrip:
+		e.load("r8", 0, 0, "%xmm1")
+		e.arith2Mem("vaddsd", "r9", 0, 0, "%xmm1", "%xmm1", "%xmm2")
+		e.arith2Mem("vaddsd", "rsi", 0, 8, "%xmm1", "%xmm1", "%xmm2")
+		e.f("\tvmulsd %%xmm15, %%xmm1, %%xmm1")      // t = 0.25*sum3
+		e.f("\tvfmadd231sd %%xmm15, %%xmm0, %%xmm1") // t += 0.25*prev
+		e.store("%xmm1", "rsi", 0, 0)
+		e.f("\tvmovsd %%xmm1, %%xmm0")
+	case e.p.gsMemRoundTrip:
+		e.load("rsi", 0, -8, "%xmm1")
+		e.arith2Mem("vaddsd", "rsi", 0, 8, "%xmm1", "%xmm1", "%xmm2")
+		e.arith2Mem("vaddsd", "r8", 0, 0, "%xmm1", "%xmm1", "%xmm2")
+		e.arith2Mem("vaddsd", "r9", 0, 0, "%xmm1", "%xmm1", "%xmm2")
+		e.f("\tvmulsd %%xmm15, %%xmm1, %%xmm1")
+		e.store("%xmm1", "rsi", 0, 0)
+	default:
+		e.load("r8", 0, 0, "%xmm1")
+		e.arith2Mem("vaddsd", "r9", 0, 0, "%xmm1", "%xmm1", "%xmm2")
+		e.arith2Mem("vaddsd", "rsi", 0, 8, "%xmm1", "%xmm1", "%xmm2")
+		e.f("\tvaddsd %%xmm0, %%xmm1, %%xmm1")
+		e.f("\tvmulsd %%xmm15, %%xmm1, %%xmm0")
+		e.store("%xmm0", "rsi", 0, 0)
+	}
+}

@@ -1,0 +1,86 @@
+package kernels
+
+import (
+	"fmt"
+	"sort"
+
+	"incore/internal/isa"
+)
+
+// TestBlock is one generated validation block with its provenance.
+type TestBlock struct {
+	Kernel *Kernel
+	Config Config
+	Block  *isa.Block
+	// ElemsPerIter is the number of scalar elements one loop iteration
+	// processes.
+	ElemsPerIter int
+}
+
+// Suite generates the full validation suite for one architecture:
+// 13 kernels x compilers(arch) x 4 optimization levels.
+func Suite(arch string) ([]TestBlock, error) {
+	var out []TestBlock
+	for ki := range Kernels {
+		k := &Kernels[ki]
+		for _, c := range CompilersFor(arch) {
+			for _, o := range AllOptLevels() {
+				cfg := Config{Arch: arch, Compiler: c, Opt: o}
+				b, err := Generate(k, cfg)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, TestBlock{
+					Kernel:       k,
+					Config:       cfg,
+					Block:        b,
+					ElemsPerIter: ElemsPerIter(k, cfg),
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// FullSuite generates the paper's complete 416-block study across all
+// three architectures.
+func FullSuite() ([]TestBlock, error) {
+	var out []TestBlock
+	for _, arch := range []string{"neoversev2", "goldencove", "zen4"} {
+		s, err := Suite(arch)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s...)
+	}
+	return out, nil
+}
+
+// UniqueBlocks counts distinct assembly bodies in a suite (the paper
+// reports 290 unique representations out of 416 tests; duplicates arise
+// when optimization levels produce identical code).
+func UniqueBlocks(blocks []TestBlock) int {
+	seen := map[string]bool{}
+	for _, tb := range blocks {
+		seen[tb.Block.Arch+"\n"+tb.Block.Text()] = true
+	}
+	return len(seen)
+}
+
+// SuiteSummary describes a suite for reports.
+func SuiteSummary(blocks []TestBlock) string {
+	perArch := map[string]int{}
+	for _, tb := range blocks {
+		perArch[tb.Config.Arch]++
+	}
+	keys := make([]string, 0, len(perArch))
+	for k := range perArch {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s := fmt.Sprintf("%d test blocks (%d unique):", len(blocks), UniqueBlocks(blocks))
+	for _, k := range keys {
+		s += fmt.Sprintf(" %s=%d", k, perArch[k])
+	}
+	return s
+}

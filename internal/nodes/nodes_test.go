@@ -1,0 +1,108 @@
+package nodes
+
+import (
+	"math"
+	"testing"
+)
+
+func TestThreeNodes(t *testing.T) {
+	if len(Nodes) != 3 {
+		t.Fatalf("want 3 nodes, got %d", len(Nodes))
+	}
+	for _, key := range []string{"neoversev2", "goldencove", "zen4"} {
+		n, err := Get(key)
+		if err != nil {
+			t.Fatalf("Get(%s): %v", key, err)
+		}
+		if n.Key != key {
+			t.Errorf("key mismatch: %q", n.Key)
+		}
+	}
+	if _, err := Get("unknown"); err == nil {
+		t.Error("unknown node must error")
+	}
+}
+
+func TestTableIValues(t *testing.T) {
+	// Core counts, frequencies, TDP — Table I verbatim.
+	cases := []struct {
+		key       string
+		cores     int
+		base, max float64
+		tdp       float64
+		l3MB      int64
+		memGB     int
+		numa      int
+	}{
+		{"neoversev2", 72, 3.4, 3.4, 250, 114, 240, 1},
+		{"goldencove", 52, 2.0, 3.8, 350, 105, 512, 4},
+		{"zen4", 96, 2.55, 3.7, 400, 1152, 384, 1},
+	}
+	for _, c := range cases {
+		n := MustGet(c.key)
+		if n.Cores != c.cores || n.BaseFreqGHz != c.base || n.MaxFreqGHz != c.max ||
+			n.TDPWatts != c.tdp || n.L3Bytes != c.l3MB<<20 || n.MemGB != c.memGB ||
+			n.CCNUMADomains != c.numa {
+			t.Errorf("%s Table I mismatch: %+v", c.key, n)
+		}
+	}
+}
+
+func TestTheoreticalBandwidth(t *testing.T) {
+	// Paper: 546 / 307 / 461 GB/s.
+	want := map[string]float64{"neoversev2": 546, "goldencove": 307, "zen4": 461}
+	for key, w := range want {
+		n := MustGet(key)
+		if got := n.TheoreticalBandwidthGBs(); math.Abs(got-w) > 0.01*w {
+			t.Errorf("%s theoretical BW = %.1f, want %.0f", key, got, w)
+		}
+	}
+}
+
+func TestTheoreticalPeak(t *testing.T) {
+	// Paper: 3.92 / 6.32 / 8.52 TFlop/s.
+	want := map[string]float64{"neoversev2": 3.92, "goldencove": 6.32, "zen4": 8.52}
+	for key, w := range want {
+		n := MustGet(key)
+		if got := n.TheoreticalPeakTFs(); math.Abs(got-w) > 0.02*w {
+			t.Errorf("%s theoretical peak = %.2f TF, want %.2f", key, got, w)
+		}
+	}
+}
+
+func TestFlopsPerCycle(t *testing.T) {
+	// GCS: 4 FMA x 2 lanes x 2 = 16; SPR: 2 x 8 x 2 = 32;
+	// Genoa: 1 x 8 x 2 + 8 (ADD pipes) = 24.
+	want := map[string]int{"neoversev2": 16, "goldencove": 32, "zen4": 24}
+	for key, w := range want {
+		if got := MustGet(key).FlopsPerCycle(); got != w {
+			t.Errorf("%s flops/cycle = %d, want %d", key, got, w)
+		}
+	}
+}
+
+func TestAchievablePeak(t *testing.T) {
+	n := MustGet("goldencove")
+	// At the sustained AVX-512 frequency of 2.0 GHz.
+	got := n.AchievablePeakTFs(2.0)
+	if math.Abs(got-3.33) > 0.05 {
+		t.Errorf("SPR achievable peak at 2.0 GHz = %.2f, want ~3.33", got)
+	}
+}
+
+func TestStreamEfficiencyRanges(t *testing.T) {
+	// Genoa has the worst efficiency (paper: 78%), SPR the best (90%).
+	gcs := MustGet("neoversev2").StreamEfficiency
+	spr := MustGet("goldencove").StreamEfficiency
+	gen := MustGet("zen4").StreamEfficiency
+	if !(gen < gcs && gen < spr) {
+		t.Errorf("Genoa must have the lowest efficiency: %f %f %f", gcs, spr, gen)
+	}
+}
+
+func TestString(t *testing.T) {
+	s := MustGet("zen4").String()
+	if s == "" {
+		t.Error("String must not be empty")
+	}
+}

@@ -1,0 +1,162 @@
+package portsched
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleSequential(t *testing.T) {
+	var p Port
+	if got := p.Schedule(0, 1); got != 0 {
+		t.Errorf("first slot = %f, want 0", got)
+	}
+	if got := p.Schedule(0, 1); got != 1 {
+		t.Errorf("second slot = %f, want 1", got)
+	}
+	if got := p.Schedule(5, 1); got != 5 {
+		t.Errorf("later slot = %f, want 5", got)
+	}
+}
+
+func TestGapFilling(t *testing.T) {
+	var p Port
+	p.Schedule(0, 1)  // [0,1)
+	p.Schedule(10, 2) // [10,12)
+	// A µ-op ready at 2 must use the gap, not queue behind 12.
+	if got := p.Schedule(2, 3); got != 2 {
+		t.Errorf("gap fill start = %f, want 2", got)
+	}
+	// A µ-op that does not fit in the remaining gap goes after.
+	if got := p.Schedule(2, 6); got != 12 {
+		t.Errorf("oversized op start = %f, want 12", got)
+	}
+}
+
+func TestMergeKeepsScheduleCompact(t *testing.T) {
+	var p Port
+	for i := 0; i < 100; i++ {
+		p.Schedule(0, 1) // all contiguous
+	}
+	if p.BusySpans() != 1 {
+		t.Errorf("contiguous reservations should merge: %d spans", p.BusySpans())
+	}
+}
+
+func TestReset(t *testing.T) {
+	var p Port
+	p.Schedule(0, 5)
+	p.Reset()
+	if got := p.Schedule(0, 1); got != 0 {
+		t.Errorf("after reset, slot = %f, want 0", got)
+	}
+}
+
+// TestNoOverlapProperty schedules random µ-ops and verifies no two
+// reservations overlap and each starts at/after its ready time.
+func TestNoOverlapProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		var p Port
+		type span struct{ s, e float64 }
+		var spans []span
+		for i := 0; i < 200; i++ {
+			earliest := float64(rng.Intn(300))
+			dur := float64(1+rng.Intn(5)) / 2
+			start := p.Schedule(earliest, dur)
+			if start < earliest {
+				t.Fatalf("start %f before ready %f", start, earliest)
+			}
+			spans = append(spans, span{start, start + dur})
+		}
+		sort.Slice(spans, func(i, j int) bool { return spans[i].s < spans[j].s })
+		for i := 1; i < len(spans); i++ {
+			if spans[i].s < spans[i-1].e-1e-9 {
+				t.Fatalf("overlap: %+v then %+v", spans[i-1], spans[i])
+			}
+		}
+	}
+}
+
+// TestEarliestFitProperty: the returned slot must be the first feasible
+// position (no earlier feasible start exists).
+func TestEarliestFitProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		var p Port
+		var booked [][2]float64
+		for i := 0; i < 100; i++ {
+			earliest := float64(rng.Intn(100))
+			dur := float64(1 + rng.Intn(4))
+			start, _ := p.EarliestSlot(earliest, dur)
+			// Verify no feasible slot in [earliest, start): check a few
+			// candidate positions.
+			for probe := earliest; probe < start-1e-9; probe += 0.5 {
+				if fits(booked, probe, dur) {
+					t.Fatalf("missed earlier slot at %f (returned %f)", probe, start)
+				}
+			}
+			p.Reserve(start, dur, reservePos(&p, start, dur))
+			booked = append(booked, [2]float64{start, start + dur})
+		}
+	}
+}
+
+// reservePos recomputes the insertion position for a known-feasible start.
+func reservePos(p *Port, start, dur float64) int {
+	t, pos := p.EarliestSlot(start, dur)
+	if t != start {
+		panic("slot no longer available")
+	}
+	return pos
+}
+
+func fits(booked [][2]float64, start, dur float64) bool {
+	end := start + dur
+	for _, b := range booked {
+		if start < b[1]-1e-9 && b[0] < end-1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestGroupScheduleBest(t *testing.T) {
+	g := NewGroup(3)
+	g.Ports[0].Schedule(0, 10) // port 0 busy until 10
+	port, start := g.ScheduleBest([]int{0, 1, 2}, 0, 1)
+	if port == 0 || start != 0 {
+		t.Errorf("best port = %d at %f, want a free port at 0", port, start)
+	}
+}
+
+func TestGroupScheduleOn(t *testing.T) {
+	g := NewGroup(2)
+	if got := g.ScheduleOn(1, 3, 2); got != 3 {
+		t.Errorf("ScheduleOn = %f, want 3", got)
+	}
+	if got := g.ScheduleOn(1, 3, 2); got != 5 {
+		t.Errorf("second ScheduleOn = %f, want 5", got)
+	}
+}
+
+// TestQuickTotalOccupancy: total booked time equals the sum of durations.
+func TestQuickTotalOccupancy(t *testing.T) {
+	f := func(durs []uint8) bool {
+		var p Port
+		var total float64
+		for _, d := range durs {
+			dur := float64(d%7) + 1
+			p.Schedule(0, dur)
+			total += dur
+		}
+		// All reservations are contiguous from 0 (always feasible at the
+		// end), so the single merged span must end at total.
+		end, _ := p.EarliestSlot(0, 0.5)
+		return end == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

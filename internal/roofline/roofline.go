@@ -1,0 +1,127 @@
+// Package roofline implements the Roofline model (Williams et al., 2009)
+// on top of the repository's machine models, as motivated in the paper's
+// introduction: the in-core model provides a "more realistic horizontal
+// ceiling" than the nominal peak.
+//
+// Performance bound for a kernel with arithmetic intensity I (flops per
+// byte of memory traffic):
+//
+//	P(I) = min(P_ceiling, I * BW)
+//
+// where P_ceiling is either the nominal peak at the sustained frequency
+// (package freq) or an in-core ceiling derived from the analyzer's
+// throughput bound for the actual loop body.
+package roofline
+
+import (
+	"fmt"
+	"strings"
+
+	"incore/internal/core"
+	"incore/internal/freq"
+	"incore/internal/isa"
+	"incore/internal/nodes"
+)
+
+// Ceiling is one horizontal line of the Roofline plot.
+type Ceiling struct {
+	Label     string
+	GFlops    float64
+	PerCore   bool
+	Sustained bool
+}
+
+// Model is a calibrated Roofline for one node.
+type Model struct {
+	Key      string
+	Node     *nodes.Node
+	BWGBs    float64 // measured socket bandwidth
+	Ceilings []Ceiling
+}
+
+// For builds the node Roofline using the sustained frequency of the
+// widest vector ISA for the "realistic" ceiling.
+func For(key string) (*Model, error) {
+	n, err := nodes.Get(key)
+	if err != nil {
+		return nil, err
+	}
+	g, err := freq.For(key)
+	if err != nil {
+		return nil, err
+	}
+	ext := isa.ExtAVX512
+	if key == "neoversev2" {
+		ext = isa.ExtSVE
+	}
+	fSust, err := g.Sustained(n.Cores, ext)
+	if err != nil {
+		return nil, err
+	}
+	m := &Model{Key: key, Node: n, BWGBs: n.TheoreticalBandwidthGBs() * n.StreamEfficiency}
+	nominal := n.TheoreticalPeakTFs() * 1e3
+	sustained := float64(n.Cores) * float64(n.FlopsPerCycle()) * fSust
+	if sustained > nominal {
+		sustained = nominal
+	}
+	m.Ceilings = []Ceiling{
+		{Label: "nominal peak (turbo)", GFlops: nominal},
+		{Label: fmt.Sprintf("sustained peak (%.2f GHz under vector load)", fSust), GFlops: sustained, Sustained: true},
+	}
+	return m, nil
+}
+
+// MustFor panics on unknown keys.
+func MustFor(key string) *Model {
+	m, err := For(key)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// AddInCoreCeiling derives a kernel-specific ceiling from an in-core
+// analysis: the analyzer's cycle-per-iteration bound, the kernel's flops
+// per iteration, and the sustained frequency give the maximum achievable
+// GFlop/s for that loop body.
+func (m *Model) AddInCoreCeiling(label string, res *core.Result, flopsPerIter int, sustainedGHz float64) Ceiling {
+	perCore := float64(flopsPerIter) / res.Prediction * sustainedGHz
+	c := Ceiling{
+		Label:   fmt.Sprintf("in-core ceiling: %s", label),
+		GFlops:  perCore * float64(m.Node.Cores),
+		PerCore: false,
+	}
+	m.Ceilings = append(m.Ceilings, c)
+	return c
+}
+
+// Bound evaluates the Roofline at arithmetic intensity I (flops/byte)
+// against a given ceiling, returning the predicted GFlop/s and whether
+// the kernel is memory-bound.
+func (m *Model) Bound(intensity float64, ceiling Ceiling) (gflops float64, memBound bool) {
+	memRoof := intensity * m.BWGBs
+	if memRoof < ceiling.GFlops {
+		return memRoof, true
+	}
+	return ceiling.GFlops, false
+}
+
+// Knee returns the arithmetic intensity at which a ceiling meets the
+// bandwidth roof (the machine-balance point).
+func (m *Model) Knee(ceiling Ceiling) float64 {
+	if m.BWGBs == 0 {
+		return 0
+	}
+	return ceiling.GFlops / m.BWGBs
+}
+
+// Render draws the rooflines and knees as text.
+func (m *Model) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Roofline %s: memory roof %.0f GB/s\n", m.Key, m.BWGBs)
+	for _, c := range m.Ceilings {
+		fmt.Fprintf(&sb, "  %-55s %8.0f GFlop/s (knee at %.2f flop/B)\n",
+			c.Label, c.GFlops, m.Knee(c))
+	}
+	return sb.String()
+}

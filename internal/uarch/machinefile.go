@@ -1,0 +1,216 @@
+package uarch
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"incore/internal/isa"
+)
+
+// Machine-file serialization: models can be exported to and loaded from a
+// JSON format analogous to OSACA's YAML machine files, so users can supply
+// their own microarchitectures to the tools without recompiling.
+//
+// Port masks are serialized as port-name lists for readability.
+
+type machineFile struct {
+	Key     string `json:"key"`
+	Name    string `json:"name"`
+	CPU     string `json:"cpu"`
+	Vendor  string `json:"vendor"`
+	Dialect string `json:"dialect"`
+
+	Ports []string `json:"ports"`
+
+	IssueWidth  int `json:"issue_width"`
+	DecodeWidth int `json:"decode_width"`
+	RetireWidth int `json:"retire_width"`
+	ROBSize     int `json:"rob_size"`
+	SchedSize   int `json:"scheduler_size"`
+	PhysVecRegs int `json:"phys_vec_regs,omitempty"`
+	PhysGPRegs  int `json:"phys_gp_regs,omitempty"`
+
+	LoadPorts      []string `json:"load_ports"`
+	StoreAGUPorts  []string `json:"store_agu_ports"`
+	StoreDataPorts []string `json:"store_data_ports"`
+	LoadLat        int      `json:"load_latency"`
+	LoadWidthBits  int      `json:"load_width_bits"`
+	StoreWidthBits int      `json:"store_width_bits"`
+	WideLoadPorts  []string `json:"wide_load_ports,omitempty"`
+	WideLoadBits   int      `json:"wide_load_bits,omitempty"`
+
+	VecWidth      int     `json:"vec_width"`
+	CoresPerChip  int     `json:"cores_per_chip"`
+	BaseFreqGHz   float64 `json:"base_freq_ghz"`
+	MaxFreqGHz    float64 `json:"max_freq_ghz"`
+	FPVectorUnits int     `json:"fp_vector_units"`
+	IntUnits      int     `json:"int_units"`
+
+	Entries []machineEntry `json:"instructions"`
+}
+
+type machineEntry struct {
+	Mnemonic string       `json:"mnemonic"`
+	Sig      string       `json:"sig,omitempty"`
+	Width    int          `json:"width,omitempty"`
+	Lat      int          `json:"latency"`
+	Uops     []machineUop `json:"uops"`
+	Notes    string       `json:"notes,omitempty"`
+}
+
+type machineUop struct {
+	Ports  []string `json:"ports"`
+	Cycles float64  `json:"cycles"`
+	Kind   string   `json:"kind,omitempty"`
+}
+
+func kindName(k UopKind) string {
+	if k == UopCompute {
+		return ""
+	}
+	return k.String()
+}
+
+func kindFromName(s string) (UopKind, error) {
+	switch s {
+	case "", "compute":
+		return UopCompute, nil
+	case "load":
+		return UopLoad, nil
+	case "staddr":
+		return UopStoreAddr, nil
+	case "stdata":
+		return UopStoreData, nil
+	case "branch":
+		return UopBranch, nil
+	default:
+		return 0, fmt.Errorf("uarch: unknown µ-op kind %q", s)
+	}
+}
+
+// WriteJSON serializes the model as a machine file.
+func (m *Model) WriteJSON(w io.Writer) error {
+	mf := machineFile{
+		Key: m.Key, Name: m.Name, CPU: m.CPU, Vendor: m.Vendor,
+		Dialect: m.Dialect.String(), Ports: m.Ports,
+		IssueWidth: m.IssueWidth, DecodeWidth: m.DecodeWidth,
+		RetireWidth: m.RetireWidth, ROBSize: m.ROBSize, SchedSize: m.SchedSize,
+		PhysVecRegs: m.PhysVecRegs, PhysGPRegs: m.PhysGPRegs,
+		LoadPorts:      m.maskNames(m.LoadPorts),
+		StoreAGUPorts:  m.maskNames(m.StoreAGUPorts),
+		StoreDataPorts: m.maskNames(m.StoreDataPorts),
+		LoadLat:        m.LoadLat, LoadWidthBits: m.LoadWidthBits,
+		StoreWidthBits: m.StoreWidthBits,
+		WideLoadPorts:  m.maskNames(m.WideLoadPorts), WideLoadBits: m.WideLoadBits,
+		VecWidth: m.VecWidth, CoresPerChip: m.CoresPerChip,
+		BaseFreqGHz: m.BaseFreqGHz, MaxFreqGHz: m.MaxFreqGHz,
+		FPVectorUnits: m.FPVectorUnits, IntUnits: m.IntUnits,
+	}
+	for _, e := range m.Entries {
+		me := machineEntry{Mnemonic: e.Mnemonic, Sig: e.Sig, Width: e.Width, Lat: e.Lat, Notes: e.Notes}
+		for _, u := range e.Uops {
+			me.Uops = append(me.Uops, machineUop{
+				Ports: m.maskNames(u.Ports), Cycles: u.Cycles, Kind: kindName(u.Kind),
+			})
+		}
+		if me.Uops == nil {
+			me.Uops = []machineUop{}
+		}
+		mf.Entries = append(mf.Entries, me)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(mf)
+}
+
+func (m *Model) maskNames(mask PortMask) []string {
+	var out []string
+	for _, i := range mask.Indices() {
+		out = append(out, m.Ports[i])
+	}
+	return out
+}
+
+// ReadJSON loads a machine file, validates it, and builds its lookup
+// index; the returned model is ready for use with all tools.
+func ReadJSON(r io.Reader) (*Model, error) {
+	var mf machineFile
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&mf); err != nil {
+		return nil, fmt.Errorf("uarch: machine file: %w", err)
+	}
+	m := &Model{
+		Key: mf.Key, Name: mf.Name, CPU: mf.CPU, Vendor: mf.Vendor,
+		Ports:      mf.Ports,
+		IssueWidth: mf.IssueWidth, DecodeWidth: mf.DecodeWidth,
+		RetireWidth: mf.RetireWidth, ROBSize: mf.ROBSize, SchedSize: mf.SchedSize,
+		PhysVecRegs: mf.PhysVecRegs, PhysGPRegs: mf.PhysGPRegs,
+		LoadLat: mf.LoadLat, LoadWidthBits: mf.LoadWidthBits,
+		StoreWidthBits: mf.StoreWidthBits, WideLoadBits: mf.WideLoadBits,
+		VecWidth: mf.VecWidth, CoresPerChip: mf.CoresPerChip,
+		BaseFreqGHz: mf.BaseFreqGHz, MaxFreqGHz: mf.MaxFreqGHz,
+		FPVectorUnits: mf.FPVectorUnits, IntUnits: mf.IntUnits,
+	}
+	switch mf.Dialect {
+	case "x86":
+		m.Dialect = isa.DialectX86
+	case "aarch64":
+		m.Dialect = isa.DialectAArch64
+	default:
+		return nil, fmt.Errorf("uarch: machine file: unknown dialect %q", mf.Dialect)
+	}
+	var err error
+	if m.LoadPorts, err = m.namesMask(mf.LoadPorts); err != nil {
+		return nil, err
+	}
+	if m.StoreAGUPorts, err = m.namesMask(mf.StoreAGUPorts); err != nil {
+		return nil, err
+	}
+	if m.StoreDataPorts, err = m.namesMask(mf.StoreDataPorts); err != nil {
+		return nil, err
+	}
+	if m.WideLoadPorts, err = m.namesMask(mf.WideLoadPorts); err != nil {
+		return nil, err
+	}
+	for _, me := range mf.Entries {
+		e := Entry{Mnemonic: me.Mnemonic, Sig: me.Sig, Width: me.Width, Lat: me.Lat, Notes: me.Notes}
+		e.Uops = []Uop{}
+		for _, mu := range me.Uops {
+			mask, err := m.namesMask(mu.Ports)
+			if err != nil {
+				return nil, fmt.Errorf("uarch: machine file: entry %s: %w", me.Mnemonic, err)
+			}
+			kind, err := kindFromName(mu.Kind)
+			if err != nil {
+				return nil, err
+			}
+			e.Uops = append(e.Uops, Uop{Ports: mask, Cycles: mu.Cycles, Kind: kind})
+		}
+		m.Entries = append(m.Entries, e)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	m.buildIndex()
+	return m, nil
+}
+
+func (m *Model) namesMask(names []string) (PortMask, error) {
+	var mask PortMask
+	for _, n := range names {
+		found := false
+		for i, p := range m.Ports {
+			if p == n {
+				mask |= 1 << uint(i)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return 0, fmt.Errorf("uarch: machine file references unknown port %q", n)
+		}
+	}
+	return mask, nil
+}

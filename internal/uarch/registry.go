@@ -1,0 +1,63 @@
+package uarch
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+var (
+	regOnce sync.Once
+	regMap  map[string]*Model
+)
+
+func registry() map[string]*Model {
+	regOnce.Do(func() {
+		regMap = make(map[string]*Model)
+		for _, m := range []*Model{NewGoldenCove(), NewNeoverseV2(), NewZen4()} {
+			m.buildIndex()
+			regMap[m.Key] = m
+		}
+	})
+	return regMap
+}
+
+// Get returns the machine model registered under key, or an error listing
+// the available keys.
+func Get(key string) (*Model, error) {
+	if m, ok := registry()[key]; ok {
+		return m, nil
+	}
+	return nil, fmt.Errorf("uarch: unknown microarchitecture %q (available: %v)", key, Keys())
+}
+
+// MustGet is Get that panics on unknown keys; for tests and table-driven
+// experiment code where the key set is static.
+func MustGet(key string) *Model {
+	m, err := Get(key)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Keys returns the registered model keys in sorted order.
+func Keys() []string {
+	r := registry()
+	out := make([]string, 0, len(r))
+	for k := range r {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns all registered models sorted by key.
+func All() []*Model {
+	keys := Keys()
+	out := make([]*Model, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, registry()[k])
+	}
+	return out
+}

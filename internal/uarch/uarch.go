@@ -1,0 +1,446 @@
+// Package uarch defines microarchitectural machine models: execution ports,
+// µ-op decomposition, instruction latencies and port assignments for the
+// three microarchitectures studied in the paper — Intel Golden Cove
+// (Sapphire Rapids), Arm Neoverse V2 (Grace CPU Superchip), and AMD Zen 4
+// (Genoa).
+//
+// A Model is consumed by three clients with different needs:
+//
+//   - internal/core (the OSACA-style analyzer) uses port masks and µ-op
+//     cycle counts to compute an optimal port-pressure lower bound;
+//   - internal/mca (the LLVM-MCA-style baseline) uses the same tables with
+//     a greedy scheduler;
+//   - internal/sim (the "hardware" stand-in) executes blocks cycle by cycle
+//     against the port model with renaming and a finite ROB.
+package uarch
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"incore/internal/isa"
+)
+
+// PortMask is a bit set of execution-port indices (bit i = Model.Ports[i]).
+type PortMask uint32
+
+// Has reports whether port index i is in the mask.
+func (m PortMask) Has(i int) bool { return m&(1<<uint(i)) != 0 }
+
+// Count returns the number of ports in the mask.
+func (m PortMask) Count() int {
+	n := 0
+	for v := m; v != 0; v &= v - 1 {
+		n++
+	}
+	return n
+}
+
+// Indices returns the port indices in the mask in ascending order.
+func (m PortMask) Indices() []int {
+	var out []int
+	for i := 0; i < 32; i++ {
+		if m.Has(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Uop is one micro-operation: it occupies one of the candidate Ports for
+// Cycles scheduler slots. Cycles is fractional to express shared resources
+// (e.g. a gather spreading 3 cycles of work over 2 load ports).
+type Uop struct {
+	Ports  PortMask
+	Cycles float64
+	// Kind tags the µ-op for the simulator's structural hazards.
+	Kind UopKind
+}
+
+// UopKind classifies µ-ops for structural modeling.
+type UopKind int
+
+const (
+	// UopCompute is a generic ALU/FP µ-op.
+	UopCompute UopKind = iota
+	// UopLoad is a load (address generation + data return).
+	UopLoad
+	// UopStoreAddr is the store address-generation µ-op.
+	UopStoreAddr
+	// UopStoreData is the store data µ-op.
+	UopStoreData
+	// UopBranch is a branch µ-op.
+	UopBranch
+)
+
+// String names the kind.
+func (k UopKind) String() string {
+	switch k {
+	case UopCompute:
+		return "compute"
+	case UopLoad:
+		return "load"
+	case UopStoreAddr:
+		return "staddr"
+	case UopStoreData:
+		return "stdata"
+	case UopBranch:
+		return "branch"
+	default:
+		return fmt.Sprintf("UopKind(%d)", int(k))
+	}
+}
+
+// Entry describes one instruction form in the machine model.
+type Entry struct {
+	// Mnemonic in lower case ("vfmadd231pd").
+	Mnemonic string
+	// Sig is the operand signature ("v,v,v"; empty matches any).
+	// Letters: r=gpr, v=vector, p=predicate, i=immediate, m=memory,
+	// l=label.
+	Sig string
+	// Width is the vector access width in bits (0 matches any width).
+	Width int
+	// Lat is the register-to-register result latency in cycles.
+	Lat int
+	// Uops is the µ-op decomposition; nil means one single-cycle µ-op on
+	// DefaultPorts (model fallback).
+	Uops []Uop
+	// Notes documents data provenance or modeling decisions.
+	Notes string
+}
+
+// rtpCycles returns the reciprocal throughput implied by the µ-op list if
+// the entry were the only instruction executing (best case, perfect
+// balancing).
+func (e *Entry) rtpCycles() float64 {
+	load := map[int]float64{}
+	for _, u := range e.Uops {
+		// Distribute each µ-op evenly over its candidate ports.
+		n := u.Ports.Count()
+		if n == 0 {
+			continue
+		}
+		share := u.Cycles / float64(n)
+		for _, p := range u.Ports.Indices() {
+			load[p] += share
+		}
+	}
+	maxLoad := 0.0
+	for _, v := range load {
+		maxLoad = math.Max(maxLoad, v)
+	}
+	return maxLoad
+}
+
+// Model is a complete machine model for one microarchitecture.
+type Model struct {
+	// Key is the registry key ("goldencove", "neoversev2", "zen4").
+	Key string
+	// Name is the microarchitecture name; CPU the paper's testbed chip.
+	Name, CPU string
+	// Vendor label used in reports ("Intel", "Nvidia/Arm", "AMD").
+	Vendor  string
+	Dialect isa.Dialect
+
+	// Ports lists execution-port names; index = bit in PortMask.
+	Ports []string
+
+	// Frontend / backend structural parameters used by the simulator.
+	IssueWidth  int // µ-ops issued (dispatched to schedulers) per cycle
+	DecodeWidth int // instructions decoded per cycle
+	RetireWidth int // µ-ops retired per cycle
+	ROBSize     int
+	SchedSize   int // unified or summed scheduler capacity
+	PhysVecRegs int
+	PhysGPRegs  int
+
+	// Memory pipeline.
+	LoadPorts      PortMask
+	StoreAGUPorts  PortMask
+	StoreDataPorts PortMask
+	LoadLat        int // L1 load-to-use latency
+	LoadWidthBits  int // max bits per load µ-op
+	StoreWidthBits int // max bits per store-data µ-op
+	// WideLoadPorts restricts loads of at least WideLoadBits to a port
+	// subset (Golden Cove: 512-bit loads run on ports 2/3 only, while
+	// port 11 handles narrower accesses). Zero masks disable the
+	// restriction.
+	WideLoadPorts PortMask
+	WideLoadBits  int
+
+	// VecWidth is the native SIMD register width in bits.
+	VecWidth int
+	// CoresPerChip and frequencies mirror Table I.
+	CoresPerChip  int
+	BaseFreqGHz   float64
+	MaxFreqGHz    float64
+	FPVectorUnits int
+	IntUnits      int
+
+	Entries []Entry
+
+	index map[entryKey]*Entry
+}
+
+type entryKey struct {
+	mnemonic string
+	sig      string
+	width    int
+}
+
+// PortIndex resolves a port name to its index, panicking on unknown names;
+// intended for model-construction time only.
+func (m *Model) PortIndex(name string) int {
+	for i, p := range m.Ports {
+		if p == name {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("uarch: model %s has no port %q", m.Key, name))
+}
+
+// PortsByName builds a PortMask from port names; construction-time helper.
+func (m *Model) PortsByName(names ...string) PortMask {
+	var mask PortMask
+	for _, n := range names {
+		mask |= 1 << uint(m.PortIndex(n))
+	}
+	return mask
+}
+
+// buildIndex populates the lookup index; called by the registry.
+func (m *Model) buildIndex() {
+	m.index = make(map[entryKey]*Entry, len(m.Entries))
+	for i := range m.Entries {
+		e := &m.Entries[i]
+		k := entryKey{e.Mnemonic, e.Sig, e.Width}
+		if _, dup := m.index[k]; dup {
+			panic(fmt.Sprintf("uarch: model %s: duplicate entry %s/%s/%d", m.Key, e.Mnemonic, e.Sig, e.Width))
+		}
+		m.index[k] = e
+	}
+}
+
+// OperandSig derives the signature string of an instruction ("v,v,v").
+func OperandSig(in *isa.Instruction) string {
+	if len(in.Operands) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	for i, op := range in.Operands {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		switch op.Kind {
+		case isa.OpReg:
+			switch op.Reg.Class {
+			case isa.ClassGPR:
+				sb.WriteByte('r')
+			case isa.ClassVec:
+				sb.WriteByte('v')
+			case isa.ClassPred:
+				sb.WriteByte('p')
+			default:
+				sb.WriteByte('r')
+			}
+		case isa.OpImm:
+			sb.WriteByte('i')
+		case isa.OpMem:
+			sb.WriteByte('m')
+		case isa.OpLabel:
+			sb.WriteByte('l')
+		}
+	}
+	return sb.String()
+}
+
+// vecWidthOf returns the maximum vector register width used by an
+// instruction, or 0 when it uses none.
+func vecWidthOf(in *isa.Instruction) int {
+	w := 0
+	for _, op := range in.Operands {
+		if op.Kind == isa.OpReg && op.Reg.Class == isa.ClassVec && op.Reg.Width > w {
+			w = op.Reg.Width
+		}
+	}
+	return w
+}
+
+// Desc is the resolved microarchitectural description of one instruction:
+// its µ-op list (including folded memory µ-ops on x86), latencies, and
+// classification flags.
+type Desc struct {
+	// Uops includes folded load/store µ-ops.
+	Uops []Uop
+	// Lat is the reg-to-reg latency of the compute part.
+	Lat int
+	// LoadLat is the additional load-to-use latency when the instruction
+	// reads memory (0 otherwise).
+	LoadLat int
+	// TotalLat = Lat + LoadLat: producer-to-consumer latency through this
+	// instruction for register dataflow.
+	TotalLat int
+	// IsLoad / IsStore / IsBranch classify the instruction.
+	IsLoad, IsStore, IsBranch bool
+	// Entry points at the matched table entry (nil if the default was
+	// synthesised).
+	Entry *Entry
+}
+
+// UopCount returns the number of µ-ops.
+func (d *Desc) UopCount() int { return len(d.Uops) }
+
+// ThroughputCycles returns the idealised reciprocal throughput of the
+// instruction in isolation (cycles per instruction, perfect balancing).
+func (d *Desc) ThroughputCycles() float64 {
+	e := Entry{Uops: d.Uops}
+	return e.rtpCycles()
+}
+
+// ErrNoEntry is returned when a model cannot describe an instruction.
+type ErrNoEntry struct {
+	Model    string
+	Mnemonic string
+	Sig      string
+	Width    int
+}
+
+// Error implements error.
+func (e *ErrNoEntry) Error() string {
+	return fmt.Sprintf("uarch: model %s: no entry for %s (%s, width %d)", e.Model, e.Mnemonic, e.Sig, e.Width)
+}
+
+// Lookup resolves an instruction against the model, folding x86 memory
+// operands into extra load/store µ-ops, and returns its Desc.
+func (m *Model) Lookup(in *isa.Instruction) (Desc, error) {
+	sig := OperandSig(in)
+	width := vecWidthOf(in)
+	e := m.find(in.Mnemonic, sig, width)
+	if e == nil {
+		return Desc{}, &ErrNoEntry{Model: m.Key, Mnemonic: in.Mnemonic, Sig: sig, Width: width}
+	}
+
+	eff := isa.InstrEffects(in, m.Dialect)
+	if isGather(in) {
+		if g := m.find(in.Mnemonic+"@gather", sig, width); g != nil {
+			e = g
+		}
+	}
+	d := Desc{Lat: e.Lat, Entry: e, IsBranch: in.IsBranch()}
+	d.Uops = append(d.Uops, e.Uops...)
+
+	// Fold memory operands. AArch64 entries always model their own
+	// memory µ-ops (loads/stores are dedicated instructions); x86 tables
+	// describe the register form, so synthesize the memory µ-ops here.
+	if m.Dialect == isa.DialectX86 {
+		if eff.ReadsMem() && !hasKind(e.Uops, UopLoad) {
+			for _, mem := range eff.LoadOps {
+				w := memWidth(mem, width)
+				ports := m.LoadPorts
+				if m.WideLoadBits > 0 && w >= m.WideLoadBits && m.WideLoadPorts != 0 {
+					ports = m.WideLoadPorts
+				}
+				for i := 0; i < m.loadUopsFor(w); i++ {
+					d.Uops = append(d.Uops, Uop{Ports: ports, Cycles: 1, Kind: UopLoad})
+				}
+			}
+			d.LoadLat = m.LoadLat
+		}
+		if eff.WritesMem() && !hasKind(e.Uops, UopStoreData) {
+			for _, mem := range eff.StoreOps {
+				n := m.storeUopsFor(memWidth(mem, width))
+				for i := 0; i < n; i++ {
+					d.Uops = append(d.Uops, Uop{Ports: m.StoreAGUPorts, Cycles: 1, Kind: UopStoreAddr})
+					d.Uops = append(d.Uops, Uop{Ports: m.StoreDataPorts, Cycles: 1, Kind: UopStoreData})
+				}
+			}
+		}
+	}
+	// AArch64 load entries carry load-to-use latency in Entry.Lat, so no
+	// extra LoadLat is added for them.
+	d.IsLoad = eff.ReadsMem()
+	d.IsStore = eff.WritesMem()
+	d.TotalLat = d.Lat + d.LoadLat
+	if d.TotalLat == 0 && !d.IsStore && !d.IsBranch {
+		// Every value-producing instruction takes at least one cycle.
+		d.TotalLat = 1
+	}
+	return d, nil
+}
+
+func memWidth(mem *isa.MemOp, vecWidth int) int {
+	if mem.Width > 0 {
+		return mem.Width
+	}
+	if vecWidth > 0 {
+		return vecWidth
+	}
+	return 64
+}
+
+// loadUopsFor returns how many load µ-ops an access of the given width
+// needs on this model.
+func (m *Model) loadUopsFor(bits int) int {
+	if m.LoadWidthBits <= 0 || bits <= m.LoadWidthBits {
+		return 1
+	}
+	return (bits + m.LoadWidthBits - 1) / m.LoadWidthBits
+}
+
+// storeUopsFor returns how many store µ-op pairs an access needs.
+func (m *Model) storeUopsFor(bits int) int {
+	if m.StoreWidthBits <= 0 || bits <= m.StoreWidthBits {
+		return 1
+	}
+	return (bits + m.StoreWidthBits - 1) / m.StoreWidthBits
+}
+
+func hasKind(uops []Uop, k UopKind) bool {
+	for _, u := range uops {
+		if u.Kind == k {
+			return true
+		}
+	}
+	return false
+}
+
+// find locates the best-matching entry with fallbacks:
+// exact (mn,sig,width) → (mn,sig,0) → (mn,"",width) → (mn,"",0).
+func (m *Model) find(mn, sig string, width int) *Entry {
+	if e, ok := m.index[entryKey{mn, sig, width}]; ok {
+		return e
+	}
+	if e, ok := m.index[entryKey{mn, sig, 0}]; ok {
+		return e
+	}
+	if e, ok := m.index[entryKey{mn, "", width}]; ok {
+		return e
+	}
+	if e, ok := m.index[entryKey{mn, "", 0}]; ok {
+		return e
+	}
+	return nil
+}
+
+// isGather reports whether an instruction indexes memory through a vector
+// register (gather/scatter addressing).
+func isGather(in *isa.Instruction) bool {
+	for _, op := range in.Operands {
+		if op.Kind == isa.OpMem && op.Mem.Index.Valid() && op.Mem.Index.Class == isa.ClassVec {
+			return true
+		}
+	}
+	return false
+}
+
+// HasEntry reports whether the model can describe the mnemonic at all.
+func (m *Model) HasEntry(mn string) bool {
+	for k := range m.index {
+		if k.mnemonic == mn {
+			return true
+		}
+	}
+	return false
+}
