@@ -3,101 +3,176 @@
 //
 // Usage:
 //
-//	repro [-exp all|table1|table2|table3|fig2|fig3|fig4]
+//	repro [-exp all|table1|table2|table3|fig2|fig3|fig4|ecm|nodeperf] [-j N] [-format text|json]
+//
+// Flags:
+//
+//	-j N
+//	    Run experiment jobs on N pipeline workers (default 1, the serial
+//	    reference path; 0 selects GOMAXPROCS). Output is byte-identical
+//	    at any -j: the pipeline collects results in submission order, so
+//	    parallelism changes wall-clock time only. With -exp all the
+//	    experiments themselves also run concurrently as one job graph.
+//	-format text|json
+//	    text (default) renders the paper-layout tables and figures.
+//	    json emits one object with the rendered output per experiment
+//	    plus the pipeline cache accounting.
+//
+// After a text run the pipeline's memo-cache accounting (hits, misses,
+// entries) is reported on stderr; stdout carries only the artifacts.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"incore/internal/experiments"
+	"incore/internal/pipeline"
 )
 
+type renderer interface{ Render() string }
+
+func render(r renderer, err error) (string, error) {
+	if err != nil {
+		return "", err
+	}
+	return r.Render(), nil
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, table1, table2, table3, fig2, fig3, fig4, ecm")
+	exp := flag.String("exp", "all", "experiment to run: all, table1, table2, table3, fig2, fig3, fig4, ecm, nodeperf")
+	workers := flag.Int("j", 1, "pipeline workers (0 = GOMAXPROCS)")
+	format := flag.String("format", "text", "output format: text or json")
 	flag.Parse()
+
+	if *format != "text" && *format != "json" {
+		fmt.Fprintf(os.Stderr, "repro: unknown format %q (want text or json)\n", *format)
+		os.Exit(2)
+	}
+	nw := pipeline.SetDefaultWorkers(*workers)
 
 	runners := map[string]func() (string, error){
 		"table1": func() (string, error) {
 			t, err := experiments.RunTable1()
-			if err != nil {
-				return "", err
-			}
-			return t.Render(), nil
+			return render(t, err)
 		},
 		"table2": func() (string, error) {
 			t, err := experiments.RunTable2()
-			if err != nil {
-				return "", err
-			}
-			return t.Render(), nil
+			return render(t, err)
 		},
 		"table3": func() (string, error) {
 			t, err := experiments.RunTable3()
-			if err != nil {
-				return "", err
-			}
-			return t.Render(), nil
+			return render(t, err)
 		},
 		"fig2": func() (string, error) {
 			f, err := experiments.RunFig2()
-			if err != nil {
-				return "", err
-			}
-			return f.Render(), nil
+			return render(f, err)
 		},
 		"fig3": func() (string, error) {
 			f, err := experiments.RunFig3()
-			if err != nil {
-				return "", err
-			}
-			return f.Render(), nil
+			return render(f, err)
 		},
 		"fig4": func() (string, error) {
 			f, err := experiments.RunFig4()
-			if err != nil {
-				return "", err
-			}
-			return f.Render(), nil
+			return render(f, err)
 		},
 		"ecm": func() (string, error) {
 			s, err := experiments.RunECM()
-			if err != nil {
-				return "", err
-			}
-			return s.Render(), nil
+			return render(s, err)
 		},
 		"nodeperf": func() (string, error) {
 			s, err := experiments.RunNodePerf()
-			if err != nil {
-				return "", err
-			}
-			return s.Render(), nil
+			return render(s, err)
 		},
 	}
 	order := []string{"table1", "table2", "table3", "fig2", "fig3", "fig4", "ecm", "nodeperf"}
 
-	run := func(name string) {
-		r, ok := runners[name]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "repro: unknown experiment %q (want one of %v)\n", name, order)
-			os.Exit(2)
+	names := []string{*exp}
+	if *exp == "all" {
+		names = order
+	} else if _, ok := runners[*exp]; !ok {
+		fmt.Fprintf(os.Stderr, "repro: unknown experiment %q (want one of %v)\n", *exp, order)
+		os.Exit(2)
+	}
+
+	// Submit every requested experiment as one job graph (independent
+	// today; dependencies slot in as experiments start sharing stages)
+	// and render in the canonical order regardless of completion order.
+	g := pipeline.NewGraph(pipeline.Default())
+	for _, name := range names {
+		fn := runners[name]
+		if err := g.Add(name, func() (any, error) { return fn() }); err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+			os.Exit(1)
 		}
-		out, err := r()
+	}
+	runErr := g.Run()
+
+	if *format == "json" {
+		outputs := make([]string, len(names))
+		for i, name := range names {
+			v, err := g.Result(name)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "repro: %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			s, ok := v.(string)
+			if !ok { // graph-validation failure: nothing ran
+				failIf(runErr)
+			}
+			outputs[i] = s
+		}
+		type expOut struct {
+			Name   string `json:"name"`
+			Output string `json:"output"`
+		}
+		doc := struct {
+			Parallelism int            `json:"parallelism"`
+			Experiments []expOut       `json:"experiments"`
+			Cache       pipeline.Stats `json:"cache"`
+		}{Parallelism: nw}
+		for i, name := range names {
+			doc.Experiments = append(doc.Experiments, expOut{Name: name, Output: outputs[i]})
+		}
+		doc.Cache = pipeline.Shared().Stats()
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		failIf(enc.Encode(doc))
+		return
+	}
+
+	// Text mode streams completed artifacts in canonical order up to the
+	// first failure, which is reported under its experiment's name.
+	for _, name := range names {
+		v, err := g.Result(name)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "repro: %s: %v\n", name, err)
 			os.Exit(1)
 		}
-		fmt.Println(out)
-	}
-
-	if *exp == "all" {
-		for _, name := range order {
-			fmt.Printf("================ %s ================\n", name)
-			run(name)
+		s, ok := v.(string)
+		if !ok { // graph-validation failure: nothing ran
+			failIf(runErr)
 		}
-		return
+		var sb strings.Builder
+		if *exp == "all" {
+			fmt.Fprintf(&sb, "================ %s ================\n", name)
+		}
+		sb.WriteString(s)
+		sb.WriteByte('\n')
+		os.Stdout.WriteString(sb.String())
 	}
-	run(*exp)
+	failIf(runErr)
+	st := pipeline.Shared().Stats()
+	fmt.Fprintf(os.Stderr, "repro: pipeline j=%d, cache %d hits / %d misses (%d entries)\n",
+		nw, st.Hits, st.Misses, st.Entries)
+}
+
+func failIf(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+		os.Exit(1)
+	}
 }

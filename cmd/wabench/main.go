@@ -4,7 +4,10 @@
 //
 // Usage:
 //
-//	wabench [-arch all|goldencove|neoversev2|zen4] [-nt] [-sweep-threshold]
+//	wabench [-arch all|goldencove|neoversev2|zen4] [-nt] [-sweep-threshold] [-j N]
+//
+// -j N runs the per-system curves as parallel pipeline jobs (default 1,
+// 0 = GOMAXPROCS); output order and bytes are identical at any -j.
 package main
 
 import (
@@ -12,16 +15,20 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"incore/internal/memsim"
 	"incore/internal/nodes"
+	"incore/internal/pipeline"
 )
 
 func main() {
 	arch := flag.String("arch", "all", "system: all, goldencove, neoversev2, zen4")
 	nt := flag.Bool("nt", false, "use non-temporal stores")
 	sweep := flag.Bool("sweep-threshold", false, "SpecI2M threshold ablation (goldencove)")
+	workers := flag.Int("j", 1, "pipeline workers (0 = GOMAXPROCS)")
 	flag.Parse()
+	pipeline.SetDefaultWorkers(*workers)
 
 	if *sweep {
 		sweepThreshold()
@@ -31,27 +38,35 @@ func main() {
 	if *arch != "all" {
 		keys = []string{*arch}
 	}
-	for _, key := range keys {
+	outputs, err := pipeline.Map(pipeline.Default(), keys, func(key string) (string, error) {
 		n, err := nodes.Get(key)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "wabench: %v\n", err)
-			os.Exit(1)
+			return "", err
 		}
 		counts := memsim.DefaultCounts(n.Cores)
-		ratios, err := memsim.WACurve(key, *nt, counts)
+		ratios, err := pipeline.WACurve(key, *nt, counts)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "wabench: %v\n", err)
-			os.Exit(1)
+			return "", err
 		}
 		label := key
 		if *nt {
 			label += " (NT stores)"
 		}
-		fmt.Printf("%s: traffic/stored ratio by active cores\n", label)
-		sort.Ints(counts)
-		for _, c := range counts {
-			fmt.Printf("  %3d cores: %.3f\n", c, ratios[c])
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "%s: traffic/stored ratio by active cores\n", label)
+		sorted := append([]int(nil), counts...)
+		sort.Ints(sorted)
+		for _, c := range sorted {
+			fmt.Fprintf(&sb, "  %3d cores: %.3f\n", c, ratios[c])
 		}
+		return sb.String(), nil
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wabench: %v\n", err)
+		os.Exit(1)
+	}
+	for _, out := range outputs {
+		os.Stdout.WriteString(out)
 	}
 }
 

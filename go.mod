@@ -1,0 +1,3 @@
+module incore
+
+go 1.22

@@ -9,6 +9,7 @@ import (
 
 	"incore/internal/memsim"
 	"incore/internal/nodes"
+	"incore/internal/pipeline"
 )
 
 // Point is one core-count sample of the scaling curve.
@@ -44,28 +45,33 @@ const linesPerCore = 8192
 // MeasureTriad sweeps the triad benchmark over core counts. NT stores are
 // used on the x86 systems (the STREAM convention with streaming stores);
 // Grace's automatic claim achieves the same with standard stores.
+//
+// Samples are submitted through the shared pipeline: they run on the
+// default pool (serial unless the caller widened it) and each (node,
+// cores) point is memoized process-wide, so repeated sweeps — Table I
+// after the bandwidth tests, say — cost one simulation each.
 func MeasureTriad(key string, counts []int) (*Result, error) {
 	n, err := nodes.Get(key)
 	if err != nil {
 		return nil, err
 	}
-	cfg, err := memsim.ConfigFor(key)
-	if err != nil {
-		return nil, err
-	}
-	sys, err := memsim.NewSystem(cfg)
-	if err != nil {
+	if _, err := memsim.ConfigFor(key); err != nil {
 		return nil, err
 	}
 	nt := key != "neoversev2"
 	res := &Result{Key: key, TheoreticalGBs: n.TheoreticalBandwidthGBs()}
-	for _, c := range counts {
-		tr, err := sys.RunTriad(c, linesPerCore, nt)
+	points, err := pipeline.Map(pipeline.Default(), counts, func(c int) (Point, error) {
+		tr, err := pipeline.Triad(key, c, linesPerCore, nt)
 		if err != nil {
-			return nil, fmt.Errorf("bw: %s at %d cores: %w", key, c, err)
+			return Point{}, fmt.Errorf("bw: %s at %d cores: %w", key, c, err)
 		}
-		p := Point{Cores: c, UsefulGBs: tr.UsefulGBs(), TrafficGBs: tr.TrafficGBs()}
-		res.Points = append(res.Points, p)
+		return Point{Cores: c, UsefulGBs: tr.UsefulGBs(), TrafficGBs: tr.TrafficGBs()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Points = points
+	for _, p := range points {
 		if p.UsefulGBs > res.PeakGBs {
 			res.PeakGBs = p.UsefulGBs
 		}

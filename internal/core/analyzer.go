@@ -84,6 +84,15 @@ func New() *Analyzer {
 	return &Analyzer{Opt: depgraph.DefaultOptions()}
 }
 
+// Fingerprint returns a stable content key for the analyzer's options.
+// Two analyzers with equal fingerprints produce identical Results for the
+// same (block, model) input; memoization layers (internal/pipeline) key
+// cached analyses on it.
+func (a *Analyzer) Fingerprint() string {
+	return fmt.Sprintf("falsedeps=%t|memwin=%d|stfwd=%d",
+		a.Opt.IncludeFalseDeps, a.Opt.MemCarriedWindow, a.Opt.StoreForwardLat)
+}
+
 // Analyze runs the in-core model for block b on machine model m.
 func (a *Analyzer) Analyze(b *isa.Block, m *uarch.Model) (*Result, error) {
 	if err := b.Validate(); err != nil {

@@ -7,6 +7,7 @@ import (
 	"incore/internal/core"
 	"incore/internal/ecm"
 	"incore/internal/kernels"
+	"incore/internal/pipeline"
 	"incore/internal/uarch"
 )
 
@@ -33,11 +34,14 @@ type ECMStudy struct {
 var ecmKernels = []string{"striad", "add", "j2d5", "j3d7", "sum"}
 
 // RunECM builds ECM predictions for each kernel's best vectorized variant
-// (first compiler, Ofast) across memory levels.
+// (first compiler, Ofast) across memory levels. The (arch, kernel) cross
+// product is one pipeline job per pair; the in-core analyses hit the
+// shared memo cache when fig3 or the node-perf study already ran them.
 func RunECM() (*ECMStudy, error) {
-	var study ECMStudy
+	archs := []string{"neoversev2", "goldencove", "zen4"}
 	an := core.New()
-	for _, arch := range []string{"neoversev2", "goldencove", "zen4"} {
+	perPair, err := pipeline.MapN(pipeline.Default(), len(archs)*len(ecmKernels), func(i int) ([]ECMRow, error) {
+		arch, kname := archs[i/len(ecmKernels)], ecmKernels[i%len(ecmKernels)]
 		m, err := uarch.Get(arch)
 		if err != nil {
 			return nil, err
@@ -46,35 +50,42 @@ func RunECM() (*ECMStudy, error) {
 		if err != nil {
 			return nil, err
 		}
-		for _, kname := range ecmKernels {
-			k, err := kernels.ByName(kname)
-			if err != nil {
-				return nil, err
-			}
-			cfg := kernels.Config{Arch: arch, Compiler: kernels.CompilersFor(arch)[0], Opt: kernels.Ofast}
-			b, err := kernels.Generate(k, cfg)
-			if err != nil {
-				return nil, err
-			}
-			res, err := an.Analyze(b, m)
-			if err != nil {
-				return nil, err
-			}
-			elems := kernels.ElemsPerIter(k, cfg)
-			tOL, tnOL, err := ecm.InCoreInputs(res, elems)
-			if err != nil {
-				return nil, err
-			}
-			tr := ecm.TrafficForKernel(k, ecm.WAFactorFor(arch, true))
-			for _, level := range []ecm.MemLevel{ecm.L1, ecm.L2, ecm.L3, ecm.MEM} {
-				r := em.Predict(tOL, tnOL, tr, level)
-				study.Rows = append(study.Rows, ECMRow{
-					Arch: arch, Kernel: kname, Level: level,
-					TECM: r.TECM, NSat: r.NSat,
-					CyPerElem: r.TECM / 8,
-				})
-			}
+		k, err := kernels.ByName(kname)
+		if err != nil {
+			return nil, err
 		}
+		cfg := kernels.Config{Arch: arch, Compiler: kernels.CompilersFor(arch)[0], Opt: kernels.Ofast}
+		b, err := kernels.Generate(k, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res, err := pipeline.Analyze(an, b, m)
+		if err != nil {
+			return nil, err
+		}
+		elems := kernels.ElemsPerIter(k, cfg)
+		tOL, tnOL, err := ecm.InCoreInputs(res, elems)
+		if err != nil {
+			return nil, err
+		}
+		tr := ecm.TrafficForKernel(k, ecm.WAFactorFor(arch, true))
+		var rows []ECMRow
+		for _, level := range []ecm.MemLevel{ecm.L1, ecm.L2, ecm.L3, ecm.MEM} {
+			r := em.Predict(tOL, tnOL, tr, level)
+			rows = append(rows, ECMRow{
+				Arch: arch, Kernel: kname, Level: level,
+				TECM: r.TECM, NSat: r.NSat,
+				CyPerElem: r.TECM / 8,
+			})
+		}
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var study ECMStudy
+	for _, rows := range perPair {
+		study.Rows = append(study.Rows, rows...)
 	}
 	return &study, nil
 }

@@ -6,6 +6,7 @@ import (
 
 	"incore/internal/freq"
 	"incore/internal/isa"
+	"incore/internal/pipeline"
 )
 
 // Fig2Series is one frequency-vs-cores curve.
@@ -37,19 +38,22 @@ func RunFig2() (*Fig2, error) {
 		{"goldencove", "SPR AVX/SSE", isa.ExtAVX},
 		{"zen4", "Genoa", isa.ExtAVX512},
 	}
-	var f Fig2
-	for _, s := range specs {
+	series, err := pipeline.MapN(pipeline.Default(), len(specs), func(i int) (Fig2Series, error) {
+		s := specs[i]
 		g, err := freq.For(s.arch)
 		if err != nil {
-			return nil, err
+			return Fig2Series{}, err
 		}
 		curve, err := g.Curve(s.ext)
 		if err != nil {
-			return nil, err
+			return Fig2Series{}, err
 		}
-		f.Series = append(f.Series, Fig2Series{Arch: s.arch, Label: s.label, Ext: s.ext, FreqGHz: curve})
+		return Fig2Series{Arch: s.arch, Label: s.label, Ext: s.ext, FreqGHz: curve}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return &f, nil
+	return &Fig2{Series: series}, nil
 }
 
 // At returns the sustained frequency of a series at n cores.

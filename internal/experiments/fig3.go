@@ -6,7 +6,7 @@ import (
 
 	"incore/internal/core"
 	"incore/internal/kernels"
-	"incore/internal/mca"
+	"incore/internal/pipeline"
 	"incore/internal/sim"
 	"incore/internal/stats"
 	"incore/internal/uarch"
@@ -43,7 +43,12 @@ type Fig3 struct {
 	Unique    int
 }
 
-// RunFig3 executes the full study.
+// RunFig3 executes the full study: one pipeline job per test block, each
+// running the analyzer, the simulator, and the baseline through the
+// shared memo cache (the suite's duplicate code bodies — 416 blocks, 290
+// unique — collapse onto single computations). Records come back in suite
+// order, so aggregation and rendering are independent of the worker
+// count.
 func RunFig3() (*Fig3, error) {
 	blocks, err := kernels.FullSuite()
 	if err != nil {
@@ -57,24 +62,22 @@ func RunFig3() (*Fig3, error) {
 		Unique:       kernels.UniqueBlocks(blocks),
 	}
 	an := core.New()
-	rpesO := map[string][]float64{}
-	rpesM := map[string][]float64{}
-	for _, tb := range blocks {
+	f.Records, err = pipeline.Map(pipeline.Default(), blocks, func(tb kernels.TestBlock) (Fig3Record, error) {
 		m, err := uarch.Get(tb.Config.Arch)
 		if err != nil {
-			return nil, err
+			return Fig3Record{}, err
 		}
-		res, err := an.Analyze(tb.Block, m)
+		res, err := pipeline.Analyze(an, tb.Block, m)
 		if err != nil {
-			return nil, fmt.Errorf("fig3: analyze %s: %w", tb.Block.Name, err)
+			return Fig3Record{}, fmt.Errorf("fig3: analyze %s: %w", tb.Block.Name, err)
 		}
-		meas, err := sim.Run(tb.Block, m, sim.DefaultConfig(m))
+		meas, err := pipeline.Simulate(tb.Block, m, sim.DefaultConfig(m))
 		if err != nil {
-			return nil, fmt.Errorf("fig3: simulate %s: %w", tb.Block.Name, err)
+			return Fig3Record{}, fmt.Errorf("fig3: simulate %s: %w", tb.Block.Name, err)
 		}
-		mres, err := mca.PredictDefault(tb.Block, m)
+		mres, err := pipeline.MCAPredict(tb.Block, m)
 		if err != nil {
-			return nil, fmt.Errorf("fig3: mca %s: %w", tb.Block.Name, err)
+			return Fig3Record{}, fmt.Errorf("fig3: mca %s: %w", tb.Block.Name, err)
 		}
 		rec := Fig3Record{
 			Block: tb.Block.Name, Arch: tb.Config.Arch, Kernel: tb.Kernel.Name,
@@ -85,7 +88,14 @@ func RunFig3() (*Fig3, error) {
 		}
 		rec.OSACARPE = stats.RPE(rec.MeasuredCy, rec.OSACACy)
 		rec.MCARPE = stats.RPE(rec.MeasuredCy, rec.MCACy)
-		f.Records = append(f.Records, rec)
+		return rec, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rpesO := map[string][]float64{}
+	rpesM := map[string][]float64{}
+	for _, rec := range f.Records {
 		rpesO[rec.Arch] = append(rpesO[rec.Arch], rec.OSACARPE)
 		rpesM[rec.Arch] = append(rpesM[rec.Arch], rec.MCARPE)
 		rpesO["all"] = append(rpesO["all"], rec.OSACARPE)

@@ -7,6 +7,7 @@ import (
 
 	"incore/internal/memsim"
 	"incore/internal/nodes"
+	"incore/internal/pipeline"
 )
 
 // Fig4Series is one traffic-ratio curve of the WA-evasion study.
@@ -39,24 +40,27 @@ func RunFig4() (*Fig4, error) {
 		{"zen4", "Genoa", false},
 		{"zen4", "Genoa NT stores", true},
 	}
-	var f Fig4
-	for _, s := range specs {
+	series, err := pipeline.MapN(pipeline.Default(), len(specs), func(i int) (Fig4Series, error) {
+		s := specs[i]
 		n, err := nodes.Get(s.arch)
 		if err != nil {
-			return nil, err
+			return Fig4Series{}, err
 		}
 		counts := memsim.DefaultCounts(n.Cores)
-		ratios, err := memsim.WACurve(s.arch, s.nt, counts)
+		ratios, err := pipeline.WACurve(s.arch, s.nt, counts)
 		if err != nil {
-			return nil, fmt.Errorf("fig4: %s: %w", s.label, err)
+			return Fig4Series{}, fmt.Errorf("fig4: %s: %w", s.label, err)
 		}
 		sorted := append([]int(nil), counts...)
 		sort.Ints(sorted)
-		f.Series = append(f.Series, Fig4Series{
+		return Fig4Series{
 			Arch: s.arch, Label: s.label, NT: s.nt, Ratio: ratios, Counts: sorted,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return &f, nil
+	return &Fig4{Series: series}, nil
 }
 
 // AtFullSocket returns a series' ratio at its maximum core count.

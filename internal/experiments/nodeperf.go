@@ -11,6 +11,7 @@ import (
 	"incore/internal/isa"
 	"incore/internal/kernels"
 	"incore/internal/nodes"
+	"incore/internal/pipeline"
 	"incore/internal/uarch"
 )
 
@@ -43,86 +44,94 @@ type NodePerf struct {
 // (memory-resident working set), scaled by the sustained frequency for
 // the variant's ISA class.
 func RunNodePerf() (*NodePerf, error) {
-	np := &NodePerf{Cells: map[string]map[string]NodePerfCell{}}
+	archs := []string{"neoversev2", "goldencove", "zen4"}
 	an := core.New()
-	for ki := range kernels.Kernels {
-		k := &kernels.Kernels[ki]
-		np.Cells[k.Name] = map[string]NodePerfCell{}
-		for _, arch := range []string{"neoversev2", "goldencove", "zen4"} {
-			m, err := uarch.Get(arch)
-			if err != nil {
-				return nil, err
-			}
-			n, err := nodes.Get(arch)
-			if err != nil {
-				return nil, err
-			}
-			g, err := freq.For(arch)
-			if err != nil {
-				return nil, err
-			}
-			em, err := ecm.For(arch)
-			if err != nil {
-				return nil, err
-			}
-
-			// Pick the best variant by in-core cycles per element.
-			best := NodePerfCell{Arch: arch, Kernel: k.Name}
-			bestCyPerElem := math.Inf(1)
-			var bestRes *core.Result
-			var bestElems int
-			var bestExt isa.Ext
-			for _, comp := range kernels.CompilersFor(arch) {
-				cfg := kernels.Config{Arch: arch, Compiler: comp, Opt: kernels.Ofast}
-				b, err := kernels.Generate(k, cfg)
-				if err != nil {
-					return nil, err
-				}
-				res, err := an.Analyze(b, m)
-				if err != nil {
-					return nil, err
-				}
-				elems := kernels.ElemsPerIter(k, cfg)
-				cpe := res.Prediction / float64(elems)
-				if cpe < bestCyPerElem {
-					bestCyPerElem = cpe
-					best.BestVariant = string(comp) + "-Ofast"
-					bestRes = res
-					bestElems = elems
-					bestExt = dominantExt(b)
-				}
-			}
-
-			f, err := g.Sustained(n.Cores, bestExt)
-			if err != nil {
-				// ISA class without a calibrated activity factor (e.g.
-				// scalar-only kernels on x86): fall back to scalar.
-				f, err = g.Sustained(n.Cores, isa.ExtScalar)
-				if err != nil {
-					return nil, err
-				}
-			}
-
-			// Core-bound (L1) performance.
-			best.CoreBoundGUPs = float64(n.Cores) / bestCyPerElem * f
-
-			// Memory-resident ECM prediction.
-			tOL, tnOL, err := ecm.InCoreInputs(bestRes, bestElems)
-			if err != nil {
-				return nil, err
-			}
-			tr := ecm.TrafficForKernel(k, ecm.WAFactorFor(arch, true))
-			r := em.Predict(tOL, tnOL, tr, ecm.MEM)
-			perfCLperCy := float64(n.Cores) / r.TECM
-			if r.TL3Mem > 0 {
-				if ceiling := 1.0 / r.TL3Mem; perfCLperCy > ceiling {
-					perfCLperCy = ceiling
-					best.MemBound = true
-				}
-			}
-			best.GUPs = perfCLperCy * 8 * f // 8 elements per cache line
-			np.Cells[k.Name][arch] = best
+	cells, err := pipeline.MapN(pipeline.Default(), len(kernels.Kernels)*len(archs), func(i int) (NodePerfCell, error) {
+		k := &kernels.Kernels[i/len(archs)]
+		arch := archs[i%len(archs)]
+		m, err := uarch.Get(arch)
+		if err != nil {
+			return NodePerfCell{}, err
 		}
+		n, err := nodes.Get(arch)
+		if err != nil {
+			return NodePerfCell{}, err
+		}
+		g, err := freq.For(arch)
+		if err != nil {
+			return NodePerfCell{}, err
+		}
+		em, err := ecm.For(arch)
+		if err != nil {
+			return NodePerfCell{}, err
+		}
+
+		// Pick the best variant by in-core cycles per element.
+		best := NodePerfCell{Arch: arch, Kernel: k.Name}
+		bestCyPerElem := math.Inf(1)
+		var bestRes *core.Result
+		var bestElems int
+		var bestExt isa.Ext
+		for _, comp := range kernels.CompilersFor(arch) {
+			cfg := kernels.Config{Arch: arch, Compiler: comp, Opt: kernels.Ofast}
+			b, err := kernels.Generate(k, cfg)
+			if err != nil {
+				return NodePerfCell{}, err
+			}
+			res, err := pipeline.Analyze(an, b, m)
+			if err != nil {
+				return NodePerfCell{}, err
+			}
+			elems := kernels.ElemsPerIter(k, cfg)
+			cpe := res.Prediction / float64(elems)
+			if cpe < bestCyPerElem {
+				bestCyPerElem = cpe
+				best.BestVariant = string(comp) + "-Ofast"
+				bestRes = res
+				bestElems = elems
+				bestExt = dominantExt(b)
+			}
+		}
+
+		f, err := g.Sustained(n.Cores, bestExt)
+		if err != nil {
+			// ISA class without a calibrated activity factor (e.g.
+			// scalar-only kernels on x86): fall back to scalar.
+			f, err = g.Sustained(n.Cores, isa.ExtScalar)
+			if err != nil {
+				return NodePerfCell{}, err
+			}
+		}
+
+		// Core-bound (L1) performance.
+		best.CoreBoundGUPs = float64(n.Cores) / bestCyPerElem * f
+
+		// Memory-resident ECM prediction.
+		tOL, tnOL, err := ecm.InCoreInputs(bestRes, bestElems)
+		if err != nil {
+			return NodePerfCell{}, err
+		}
+		tr := ecm.TrafficForKernel(k, ecm.WAFactorFor(arch, true))
+		r := em.Predict(tOL, tnOL, tr, ecm.MEM)
+		perfCLperCy := float64(n.Cores) / r.TECM
+		if r.TL3Mem > 0 {
+			if ceiling := 1.0 / r.TL3Mem; perfCLperCy > ceiling {
+				perfCLperCy = ceiling
+				best.MemBound = true
+			}
+		}
+		best.GUPs = perfCLperCy * 8 * f // 8 elements per cache line
+		return best, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	np := &NodePerf{Cells: map[string]map[string]NodePerfCell{}}
+	for _, c := range cells {
+		if np.Cells[c.Kernel] == nil {
+			np.Cells[c.Kernel] = map[string]NodePerfCell{}
+		}
+		np.Cells[c.Kernel][c.Arch] = c
 	}
 	return np, nil
 }

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"testing"
+
+	"incore/internal/pipeline"
+)
+
+// TestParallelOutputMatchesSerial is the acceptance property of the
+// pipeline refactor: every runner renders byte-identical output at -j 8
+// and -j 1. The serial pass runs first and fills the shared memo cache;
+// the parallel pass must reproduce its bytes exactly (and, thanks to the
+// cache, mostly from hits).
+func TestParallelOutputMatchesSerial(t *testing.T) {
+	old := pipeline.Default().Workers()
+	defer pipeline.SetDefaultWorkers(old)
+
+	runners := map[string]func() (string, error){
+		"table1": func() (string, error) { r, err := RunTable1(); return render(r, err) },
+		"table2": func() (string, error) { r, err := RunTable2(); return render(r, err) },
+		"table3": func() (string, error) { r, err := RunTable3(); return render(r, err) },
+		"fig2":   func() (string, error) { r, err := RunFig2(); return render(r, err) },
+		"fig3":   func() (string, error) { r, err := RunFig3(); return render(r, err) },
+		"fig4":   func() (string, error) { r, err := RunFig4(); return render(r, err) },
+		"ecm":    func() (string, error) { r, err := RunECM(); return render(r, err) },
+		"nodeperf": func() (string, error) {
+			r, err := RunNodePerf()
+			return render(r, err)
+		},
+	}
+
+	pipeline.SetDefaultWorkers(1)
+	serial := map[string]string{}
+	for name, run := range runners {
+		out, err := run()
+		if err != nil {
+			t.Fatalf("%s serial: %v", name, err)
+		}
+		serial[name] = out
+	}
+
+	before := pipeline.Shared().Stats()
+	pipeline.SetDefaultWorkers(8)
+	for name, run := range runners {
+		out, err := run()
+		if err != nil {
+			t.Fatalf("%s parallel: %v", name, err)
+		}
+		if out != serial[name] {
+			t.Errorf("%s: -j 8 output differs from -j 1 (%d vs %d bytes)", name, len(out), len(serial[name]))
+		}
+	}
+	after := pipeline.Shared().Stats()
+	if after.Hits <= before.Hits {
+		t.Errorf("parallel re-run should hit the memo cache: hits %d -> %d", before.Hits, after.Hits)
+	}
+	if after.Misses != before.Misses {
+		t.Errorf("parallel re-run of cached work must add no misses: %d -> %d", before.Misses, after.Misses)
+	}
+}
+
+type renderer interface{ Render() string }
+
+func render(r renderer, err error) (string, error) {
+	if err != nil {
+		return "", err
+	}
+	return r.Render(), nil
+}

@@ -1,6 +1,12 @@
 // Package experiments contains one runner per table and figure of the
 // paper's evaluation, regenerating each artifact on the simulation
 // substrate (see DESIGN.md's experiment index E1..E6).
+//
+// Every runner submits its unit of work — a system, a (arch,
+// instruction) cell, a test block — as jobs on the shared
+// internal/pipeline pool, with analyzer and simulator results memoized
+// process-wide. Results are collected in submission order, so rendered
+// output is byte-identical at any parallelism (cmd/repro -j N).
 package experiments
 
 import (
@@ -11,6 +17,7 @@ import (
 	"incore/internal/freq"
 	"incore/internal/isa"
 	"incore/internal/nodes"
+	"incore/internal/pipeline"
 )
 
 // Table1Row is one system column of Table I.
@@ -33,10 +40,10 @@ type Table1 struct {
 
 // RunTable1 measures bandwidth with the bw benchmark and derives
 // achievable peak from the frequency governor's sustained all-core
-// frequency for the widest vector ISA.
+// frequency for the widest vector ISA. One pipeline job per system; the
+// bandwidth sweep inside each job fans out further on the same pool.
 func RunTable1() (*Table1, error) {
-	var t Table1
-	for i := range nodes.Nodes {
+	rows, err := pipeline.MapN(pipeline.Default(), len(nodes.Nodes), func(i int) (Table1Row, error) {
 		n := &nodes.Nodes[i]
 		row := Table1Row{Node: n}
 		row.TheoreticalPeakTFs = n.TheoreticalPeakTFs()
@@ -44,24 +51,27 @@ func RunTable1() (*Table1, error) {
 
 		g, err := freq.For(n.Key)
 		if err != nil {
-			return nil, err
+			return row, err
 		}
 		ext := widestExt(n.Key)
 		f, err := g.Sustained(n.Cores, ext)
 		if err != nil {
-			return nil, err
+			return row, err
 		}
 		row.SustainedVecGHz = f
 		row.AchievablePeakTFs = n.AchievablePeakTFs(f)
 
 		bwRes, err := bw.MeasureNode(n.Key)
 		if err != nil {
-			return nil, err
+			return row, err
 		}
 		row.MeasuredBWGBs = bwRes.PeakGBs
-		t.Rows = append(t.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return &t, nil
+	return &Table1{Rows: rows}, nil
 }
 
 func widestExt(key string) isa.Ext {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"incore/internal/pipeline"
 	"incore/internal/uarch"
 )
 
@@ -25,13 +26,13 @@ type Table2 struct {
 	Rows []Table2Row
 }
 
-// RunTable2 derives the comparison from the registered machine models.
+// RunTable2 derives the comparison from the registered machine models,
+// one pipeline job per system.
 func RunTable2() (*Table2, error) {
-	var t Table2
-	for _, key := range []string{"neoversev2", "goldencove", "zen4"} {
+	rows, err := pipeline.Map(pipeline.Default(), []string{"neoversev2", "goldencove", "zen4"}, func(key string) (Table2Row, error) {
 		m, err := uarch.Get(key)
 		if err != nil {
-			return nil, err
+			return Table2Row{}, err
 		}
 		row := Table2Row{
 			Model:      m,
@@ -51,9 +52,12 @@ func RunTable2() (*Table2, error) {
 		nStores := m.StoreDataPorts.Count()
 		row.StoresDesc = fmt.Sprintf("%d x %d B", nStores, m.StoreWidthBits/8)
 		row.StoresBytes = nStores * m.StoreWidthBits / 8
-		t.Rows = append(t.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return &t, nil
+	return &Table2{Rows: rows}, nil
 }
 
 // Render draws Table II.

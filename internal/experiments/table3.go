@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"incore/internal/ibench"
+	"incore/internal/pipeline"
 	"incore/internal/sim"
 	"incore/internal/uarch"
 )
@@ -79,27 +80,38 @@ type Table3 struct {
 	Cells map[string]map[InstrKind]Table3Cell
 }
 
-// RunTable3 executes all microbenchmarks.
+// RunTable3 executes all microbenchmarks: the (arch, instruction) cross
+// product is flattened into one pipeline job per cell, each memoized on
+// the shared cache.
 func RunTable3() (*Table3, error) {
-	t := &Table3{Cells: map[string]map[InstrKind]Table3Cell{}}
-	for _, arch := range []string{"neoversev2", "goldencove", "zen4"} {
+	archs := []string{"neoversev2", "goldencove", "zen4"}
+	kinds := AllInstrKinds()
+	cells, err := pipeline.MapN(pipeline.Default(), len(archs)*len(kinds), func(i int) (Table3Cell, error) {
+		arch, kind := archs[i/len(kinds)], kinds[i%len(kinds)]
 		m, err := uarch.Get(arch)
 		if err != nil {
-			return nil, err
+			return Table3Cell{}, err
 		}
-		t.Cells[arch] = map[InstrKind]Table3Cell{}
-		for _, kind := range AllInstrKinds() {
-			r, err := ibench.Measure(m, kind, sim.DefaultConfig(m))
-			if err != nil {
-				return nil, fmt.Errorf("table3: %s/%s: %w", arch, kind, err)
-			}
-			cell := Table3Cell{
-				Arch: arch, Kind: kind,
-				ThroughputElems: r.ThroughputElems, LatencyCy: r.LatencyCy,
-			}
-			cell.PaperThroughput, cell.PaperLatency, _ = PaperTable3Value(arch, kind)
-			t.Cells[arch][kind] = cell
+		r, err := pipeline.MeasureInstr(m, kind, sim.DefaultConfig(m))
+		if err != nil {
+			return Table3Cell{}, fmt.Errorf("table3: %s/%s: %w", arch, kind, err)
 		}
+		cell := Table3Cell{
+			Arch: arch, Kind: kind,
+			ThroughputElems: r.ThroughputElems, LatencyCy: r.LatencyCy,
+		}
+		cell.PaperThroughput, cell.PaperLatency, _ = PaperTable3Value(arch, kind)
+		return cell, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := &Table3{Cells: map[string]map[InstrKind]Table3Cell{}}
+	for _, c := range cells {
+		if t.Cells[c.Arch] == nil {
+			t.Cells[c.Arch] = map[InstrKind]Table3Cell{}
+		}
+		t.Cells[c.Arch][c.Kind] = c
 	}
 	return t, nil
 }

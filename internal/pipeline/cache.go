@@ -1,0 +1,97 @@
+package pipeline
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Cache is a concurrency-safe, content-keyed memoization table with
+// singleflight semantics: for each key the compute function runs exactly
+// once per process; concurrent requesters block for the single executor's
+// result instead of duplicating work. Values are treated as immutable
+// after insertion — callers must not mutate what Do returns.
+type Cache struct {
+	mu     sync.Mutex
+	m      map[string]*centry
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+type centry struct {
+	once sync.Once
+	val  any
+	err  error
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache { return &Cache{m: map[string]*centry{}} }
+
+// Do returns the cached value for key, computing it with fn on first use.
+// Errors are cached too: a failed computation is not retried, so the
+// outcome for a key is stable for the process lifetime (determinism over
+// optimism).
+func (c *Cache) Do(key string, fn func() (any, error)) (any, error) {
+	c.mu.Lock()
+	e, ok := c.m[key]
+	if !ok {
+		e = &centry{}
+		c.m[key] = e
+	}
+	c.mu.Unlock()
+	executed := false
+	e.once.Do(func() {
+		executed = true
+		e.val, e.err = fn()
+	})
+	if executed {
+		c.misses.Add(1)
+	} else {
+		c.hits.Add(1)
+	}
+	return e.val, e.err
+}
+
+// Stats is a point-in-time cache accounting snapshot. Hits and Misses
+// depend only on the sequence of Do keys, not on scheduling: the executor
+// of a key counts one miss, every other requester one hit — so the totals
+// for a fixed workload are identical at any worker count.
+type Stats struct {
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Entries int    `json:"entries"`
+}
+
+// Stats returns the current accounting.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	n := len(c.m)
+	c.mu.Unlock()
+	return Stats{Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: n}
+}
+
+// Reset drops all entries and zeroes the counters. In-flight computations
+// keyed before the reset complete against the old entries.
+func (c *Cache) Reset() {
+	c.mu.Lock()
+	c.m = map[string]*centry{}
+	c.mu.Unlock()
+	c.hits.Store(0)
+	c.misses.Store(0)
+}
+
+// Do is the typed wrapper over Cache.Do. The first computation of a key
+// fixes the concrete type; all requesters of that key must use the same T.
+func Do[T any](c *Cache, key string, fn func() (T, error)) (T, error) {
+	v, err := c.Do(key, func() (any, error) { return fn() })
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	return v.(T), nil
+}
+
+// shared is the process-wide memo cache used by the wrappers in memo.go.
+var shared = NewCache()
+
+// Shared returns the process-wide memo cache.
+func Shared() *Cache { return shared }

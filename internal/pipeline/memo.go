@@ -1,0 +1,104 @@
+package pipeline
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"incore/internal/core"
+	"incore/internal/ibench"
+	"incore/internal/isa"
+	"incore/internal/mca"
+	"incore/internal/memsim"
+	"incore/internal/sim"
+	"incore/internal/uarch"
+)
+
+// This file defines the memoized entry points the experiment runners
+// share. Keys are built from *content*, not identity: a block is keyed by
+// its architecture, dialect, and rendered assembly text — not its name —
+// so the suite's duplicate code bodies (416 test blocks, 290 unique)
+// collapse onto single computations, and so do identical analyses issued
+// by different experiments (fig3, ECM, node-perf all analyze the same
+// Ofast variants).
+//
+// Cached values are shared: callers must treat returned pointers, slices,
+// and maps as immutable.
+
+// BlockKey returns the content key of a block: everything that determines
+// an analysis or simulation outcome, excluding the display name.
+func BlockKey(b *isa.Block) string {
+	return b.Arch + "\x00" + strconv.Itoa(int(b.Dialect)) + "\x00" + b.Text()
+}
+
+// simConfigKey folds every outcome-affecting Config field into the key.
+// Trace is deliberately excluded — traced runs bypass the cache entirely.
+func simConfigKey(cfg sim.Config) string {
+	return fmt.Sprintf("%d|%d|%d|%d|%g|%t|%d",
+		cfg.WarmupIters, cfg.MeasureIters, cfg.FMAAccForwardLat,
+		cfg.CrossOpForwardSave, cfg.DivEarlyExitFactor,
+		cfg.DisableRenaming, cfg.IssueWidthOverride)
+}
+
+// Analyze memoizes core.Analyzer.Analyze by (analyzer options, machine
+// model, block content).
+func Analyze(an *core.Analyzer, b *isa.Block, m *uarch.Model) (*core.Result, error) {
+	key := "analyze\x00" + an.Fingerprint() + "\x00" + m.Key + "\x00" + BlockKey(b)
+	return Do(shared, key, func() (*core.Result, error) { return an.Analyze(b, m) })
+}
+
+// Simulate memoizes sim.Run by (machine model, simulator config, block
+// content). Runs carrying a trace callback execute directly: a trace is a
+// side effect the cache must not swallow.
+func Simulate(b *isa.Block, m *uarch.Model, cfg sim.Config) (*sim.Result, error) {
+	if cfg.Trace != nil {
+		return sim.Run(b, m, cfg)
+	}
+	key := "sim\x00" + m.Key + "\x00" + simConfigKey(cfg) + "\x00" + BlockKey(b)
+	return Do(shared, key, func() (*sim.Result, error) { return sim.Run(b, m, cfg) })
+}
+
+// MCAPredict memoizes mca.PredictDefault by (machine model, block content).
+func MCAPredict(b *isa.Block, m *uarch.Model) (*mca.Result, error) {
+	key := "mca\x00" + m.Key + "\x00" + BlockKey(b)
+	return Do(shared, key, func() (*mca.Result, error) { return mca.PredictDefault(b, m) })
+}
+
+// MeasureInstr memoizes ibench.Measure by (machine model, instruction
+// kind, simulator config).
+func MeasureInstr(m *uarch.Model, kind ibench.Kind, cfg sim.Config) (*ibench.Result, error) {
+	if cfg.Trace != nil {
+		return ibench.Measure(m, kind, cfg)
+	}
+	key := "ibench\x00" + m.Key + "\x00" + strconv.Itoa(int(kind)) + "\x00" + simConfigKey(cfg)
+	return Do(shared, key, func() (*ibench.Result, error) { return ibench.Measure(m, kind, cfg) })
+}
+
+// WACurve memoizes memsim.WACurve by (node key, store flavour, sweep).
+func WACurve(key string, nt bool, counts []int) (map[int]float64, error) {
+	parts := make([]string, len(counts))
+	for i, c := range counts {
+		parts[i] = strconv.Itoa(c)
+	}
+	ck := fmt.Sprintf("wacurve\x00%s\x00%t\x00%s", key, nt, strings.Join(parts, ","))
+	return Do(shared, ck, func() (map[int]float64, error) { return memsim.WACurve(key, nt, counts) })
+}
+
+// Triad memoizes one triad sample — (node, active cores, lines per core,
+// store flavour) — on a fresh memsim system. memsim.System.run resets all
+// state per run, so a fresh system per sample is equivalent to a shared
+// system swept serially.
+func Triad(key string, cores, linesPerCore int, nt bool) (memsim.TrafficResult, error) {
+	ck := fmt.Sprintf("triad\x00%s\x00%d\x00%d\x00%t", key, cores, linesPerCore, nt)
+	return Do(shared, ck, func() (memsim.TrafficResult, error) {
+		cfg, err := memsim.ConfigFor(key)
+		if err != nil {
+			return memsim.TrafficResult{}, err
+		}
+		sys, err := memsim.NewSystem(cfg)
+		if err != nil {
+			return memsim.TrafficResult{}, err
+		}
+		return sys.RunTriad(cores, linesPerCore, nt)
+	})
+}

@@ -1,0 +1,106 @@
+package pipeline
+
+import (
+	"testing"
+
+	"incore/internal/core"
+	"incore/internal/kernels"
+	"incore/internal/sim"
+	"incore/internal/uarch"
+)
+
+// TestMemoKeysByContentNotName verifies that two blocks with identical
+// bodies but different names share one cached analysis — the property
+// that collapses the suite's 416 test blocks onto its 290 unique bodies.
+func TestMemoKeysByContentNotName(t *testing.T) {
+	m := uarch.MustGet("goldencove")
+	k, err := kernels.ByName("striad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := kernels.Config{Arch: "goldencove", Compiler: kernels.CompilersFor("goldencove")[0], Opt: kernels.Ofast}
+	b1, err := kernels.Generate(k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2 := b1.Clone()
+	b2.Name = b1.Name + "-alias"
+
+	c := NewCache()
+	old := shared
+	shared = c
+	defer func() { shared = old }()
+
+	an := core.New()
+	r1, err := Analyze(an, b1, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Analyze(an, b2, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Error("identical block content must share one cached analysis")
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != 1 {
+		t.Errorf("stats = %+v, want 1 miss + 1 hit", st)
+	}
+
+	// A different analyzer configuration must not share the entry.
+	an2 := core.New()
+	an2.Opt.IncludeFalseDeps = true
+	if _, err := Analyze(an2, b1, m); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Misses != 2 {
+		t.Errorf("distinct analyzer options must miss: %+v", st)
+	}
+}
+
+// TestMemoSimulateMatchesDirect verifies the cached simulator result is
+// the direct result, and that a traced run bypasses the cache.
+func TestMemoSimulateMatchesDirect(t *testing.T) {
+	m := uarch.MustGet("zen4")
+	k, err := kernels.ByName("sum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := kernels.Config{Arch: "zen4", Compiler: kernels.CompilersFor("zen4")[0], Opt: kernels.Ofast}
+	b, err := kernels.Generate(k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := sim.DefaultConfig(m)
+	direct, err := sim.Run(b, m, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := NewCache()
+	old := shared
+	shared = c
+	defer func() { shared = old }()
+
+	cached, err := Simulate(b, m, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached.CyclesPerIter != direct.CyclesPerIter {
+		t.Errorf("cached %.4f vs direct %.4f cycles/iter", cached.CyclesPerIter, direct.CyclesPerIter)
+	}
+
+	traced := sc
+	traces := 0
+	traced.Trace = func(int, string, float64, float64, float64, float64, float64) { traces++ }
+	if _, err := Simulate(b, m, traced); err != nil {
+		t.Fatal(err)
+	}
+	if traces == 0 {
+		t.Error("traced run must execute, not hit the cache")
+	}
+	if st := c.Stats(); st.Misses != 1 {
+		t.Errorf("traced run must bypass the cache: %+v", st)
+	}
+}

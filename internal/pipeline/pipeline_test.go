@@ -1,0 +1,244 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapPreservesOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 32} {
+		p := NewPool(workers)
+		in := make([]int, 100)
+		for i := range in {
+			in[i] = i
+		}
+		out, err := Map(p, in, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapDeterministicError(t *testing.T) {
+	in := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	fn := func(i int) (int, error) {
+		if i%2 == 1 {
+			return 0, fmt.Errorf("fail %d", i)
+		}
+		return i, nil
+	}
+	for _, workers := range []int{1, 8} {
+		_, err := Map(NewPool(workers), in, fn)
+		if err == nil || err.Error() != "fail 1" {
+			t.Errorf("workers=%d: err = %v, want fail 1 (lowest index)", workers, err)
+		}
+	}
+}
+
+func TestMapN(t *testing.T) {
+	out, err := MapN(NewPool(4), 5, func(i int) (string, error) {
+		return strings.Repeat("x", i), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[4] != "xxxx" || len(out) != 5 {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestPoolWidths(t *testing.T) {
+	if NewPool(0).Workers() < 1 || NewPool(-3).Workers() < 1 {
+		t.Error("non-positive widths must clamp to at least 1")
+	}
+	old := Default().Workers()
+	defer SetDefaultWorkers(old)
+	if got := SetDefaultWorkers(7); got != 7 || Default().Workers() != 7 {
+		t.Errorf("SetDefaultWorkers: got %d / %d", got, Default().Workers())
+	}
+}
+
+func TestCacheHitMissAccounting(t *testing.T) {
+	c := NewCache()
+	var executions atomic.Int64
+	const callers = 64
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := Do(c, "k", func() (int, error) {
+				executions.Add(1)
+				return 42, nil
+			})
+			if err != nil || v != 42 {
+				t.Errorf("Do = %d, %v", v, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := executions.Load(); n != 1 {
+		t.Errorf("compute ran %d times, want 1 (singleflight)", n)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != callers-1 || st.Entries != 1 {
+		t.Errorf("stats = %+v, want 1 miss / %d hits / 1 entry", st, callers-1)
+	}
+}
+
+func TestCacheCachesErrors(t *testing.T) {
+	c := NewCache()
+	calls := 0
+	fn := func() (int, error) { calls++; return 0, errors.New("boom") }
+	for i := 0; i < 3; i++ {
+		if _, err := Do(c, "k", fn); err == nil {
+			t.Fatal("want error")
+		}
+	}
+	if calls != 1 {
+		t.Errorf("failing compute ran %d times, want 1", calls)
+	}
+}
+
+func TestCacheReset(t *testing.T) {
+	c := NewCache()
+	if _, err := Do(c, "k", func() (int, error) { return 1, nil }); err != nil {
+		t.Fatal(err)
+	}
+	c.Reset()
+	if st := c.Stats(); st.Entries != 0 || st.Hits != 0 || st.Misses != 0 {
+		t.Errorf("after reset: %+v", st)
+	}
+}
+
+func TestGraphRespectsDependencies(t *testing.T) {
+	g := NewGraph(NewPool(8))
+	var mu sync.Mutex
+	var log []string
+	step := func(id string) func() (any, error) {
+		return func() (any, error) {
+			mu.Lock()
+			log = append(log, id)
+			mu.Unlock()
+			return id + "-done", nil
+		}
+	}
+	mustAdd := func(id string, deps ...string) {
+		t.Helper()
+		if err := g.Add(id, step(id), deps...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAdd("fetch")
+	mustAdd("analyze", "fetch")
+	mustAdd("simulate", "fetch")
+	mustAdd("report", "analyze", "simulate")
+	if err := g.Run(); err != nil {
+		t.Fatal(err)
+	}
+	pos := map[string]int{}
+	for i, id := range log {
+		pos[id] = i
+	}
+	if !(pos["fetch"] < pos["analyze"] && pos["fetch"] < pos["simulate"] && pos["analyze"] < pos["report"] && pos["simulate"] < pos["report"]) {
+		t.Errorf("dependency order violated: %v", log)
+	}
+	v, err := g.Result("report")
+	if err != nil || v != "report-done" {
+		t.Errorf("Result(report) = %v, %v", v, err)
+	}
+}
+
+func TestGraphFailurePropagates(t *testing.T) {
+	g := NewGraph(NewPool(4))
+	boom := errors.New("boom")
+	g.Add("a", func() (any, error) { return nil, boom })
+	ran := false
+	g.Add("b", func() (any, error) { ran = true; return nil, nil }, "a")
+	if err := g.Run(); !errors.Is(err, boom) {
+		t.Errorf("Run err = %v, want boom", err)
+	}
+	if ran {
+		t.Error("dependent of a failed job must be skipped")
+	}
+	if _, err := g.Result("b"); !errors.Is(err, boom) {
+		t.Errorf("Result(b) err = %v, want wrapped boom", err)
+	}
+}
+
+func TestGraphRejectsCycleAndUnknownDep(t *testing.T) {
+	g := NewGraph(NewPool(1))
+	g.Add("a", func() (any, error) { return nil, nil }, "b")
+	g.Add("b", func() (any, error) { return nil, nil }, "a")
+	if err := g.Run(); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Errorf("cycle not detected: %v", err)
+	}
+	g2 := NewGraph(NewPool(1))
+	g2.Add("a", func() (any, error) { return nil, nil }, "ghost")
+	if err := g2.Run(); err == nil || !strings.Contains(err.Error(), "unknown dependency") {
+		t.Errorf("unknown dep not detected: %v", err)
+	}
+	g3 := NewGraph(NewPool(1))
+	g3.Add("a", func() (any, error) { return nil, nil })
+	if err := g3.Add("a", func() (any, error) { return nil, nil }); err == nil {
+		t.Error("duplicate id not rejected")
+	}
+	if err := g3.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g3.Run(); err == nil {
+		t.Error("second Run not rejected")
+	}
+}
+
+// ExampleMap lowers a serial loop onto the pool: results come back in
+// input order no matter how many workers race, so rendered output is
+// byte-identical at any -j.
+func ExampleMap() {
+	pool := NewPool(4)
+	kernels := []string{"triad", "daxpy", "sum"}
+	rows, err := Map(pool, kernels, func(k string) (string, error) {
+		return fmt.Sprintf("%s: ok", k), nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range rows {
+		fmt.Println(r)
+	}
+	// Output:
+	// triad: ok
+	// daxpy: ok
+	// sum: ok
+}
+
+// ExampleCache shows content-keyed memoization with singleflight
+// semantics and hit/miss accounting.
+func ExampleCache() {
+	c := NewCache()
+	expensive := func() (int, error) {
+		fmt.Println("computing once")
+		return 416, nil
+	}
+	for i := 0; i < 3; i++ {
+		v, _ := Do(c, "fig3/goldencove/triad", expensive)
+		fmt.Println(v)
+	}
+	st := c.Stats()
+	fmt.Printf("hits=%d misses=%d\n", st.Hits, st.Misses)
+	// Output:
+	// computing once
+	// 416
+	// 416
+	// 416
+	// hits=2 misses=1
+}
