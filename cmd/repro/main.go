@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	repro [-exp all|table1|table2|table3|fig2|fig3|fig4|ecm|nodeperf] [-j N] [-format text|json]
+//	repro [-exp all|table1|table2|table3|fig2|fig3|fig4|ecm|nodeperf] [-j N] [-format text|json] [-cache-dir DIR]
 //
 // Flags:
 //
@@ -17,9 +17,18 @@
 //	    text (default) renders the paper-layout tables and figures.
 //	    json emits one object with the rendered output per experiment
 //	    plus the pipeline cache accounting.
+//	-cache-dir DIR
+//	    Attach the persistent content-addressed result store at DIR
+//	    (created if needed) under the memo cache, so analyzer, simulator,
+//	    and WA-curve results survive across runs. Text-mode output bytes
+//	    are identical with or without it, warm or cold; only the stderr
+//	    accounting (and wall-clock time) changes. JSON mode embeds the
+//	    store accounting in its output object, so there only the
+//	    experiments array is run-invariant.
 //
 // After a text run the pipeline's memo-cache accounting (hits, misses,
-// entries) is reported on stderr; stdout carries only the artifacts.
+// entries) is reported on stderr — plus the store's warm/cold lookup
+// counts when -cache-dir is given; stdout carries only the artifacts.
 package main
 
 import (
@@ -31,6 +40,7 @@ import (
 
 	"incore/internal/experiments"
 	"incore/internal/pipeline"
+	"incore/internal/store"
 )
 
 type renderer interface{ Render() string }
@@ -46,6 +56,7 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run: all, table1, table2, table3, fig2, fig3, fig4, ecm, nodeperf")
 	workers := flag.Int("j", 1, "pipeline workers (0 = GOMAXPROCS)")
 	format := flag.String("format", "text", "output format: text or json")
+	cacheDir := flag.String("cache-dir", "", "persistent result store directory (empty = process-local cache only)")
 	flag.Parse()
 
 	if *format != "text" && *format != "json" {
@@ -53,6 +64,12 @@ func main() {
 		os.Exit(2)
 	}
 	nw := pipeline.SetDefaultWorkers(*workers)
+	if *cacheDir != "" {
+		if _, err := pipeline.AttachStore(*cacheDir); err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	runners := map[string]func() (string, error){
 		"table1": func() (string, error) {
@@ -133,11 +150,16 @@ func main() {
 			Parallelism int            `json:"parallelism"`
 			Experiments []expOut       `json:"experiments"`
 			Cache       pipeline.Stats `json:"cache"`
+			Store       *store.Stats   `json:"store,omitempty"`
 		}{Parallelism: nw}
 		for i, name := range names {
 			doc.Experiments = append(doc.Experiments, expOut{Name: name, Output: outputs[i]})
 		}
 		doc.Cache = pipeline.Shared().Stats()
+		if st := pipeline.PersistentStore(); st != nil {
+			s := st.Stats()
+			doc.Store = &s
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		failIf(enc.Encode(doc))
@@ -168,6 +190,11 @@ func main() {
 	st := pipeline.Shared().Stats()
 	fmt.Fprintf(os.Stderr, "repro: pipeline j=%d, cache %d hits / %d misses (%d entries)\n",
 		nw, st.Hits, st.Misses, st.Entries)
+	if ps := pipeline.PersistentStore(); ps != nil {
+		s := ps.Stats()
+		fmt.Fprintf(os.Stderr, "repro: store %d warm / %d cold (mem %d, disk %d, evictions %d)\n",
+			s.Warm(), s.Misses, s.MemHits, s.DiskHits, s.Evictions)
+	}
 }
 
 func failIf(err error) {

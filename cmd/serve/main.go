@@ -1,0 +1,64 @@
+// Command serve runs the in-core analysis service: an HTTP JSON API that
+// answers OSACA-style "analyze this block on this uarch" requests through
+// the same pipeline memo cache and persistent result store as batch
+// reproduction, so served traffic and cmd/repro share one cache and one
+// determinism contract.
+//
+// Usage:
+//
+//	serve [-addr :8080] [-cache-dir DIR] [-j N]
+//
+// Endpoints:
+//
+//	POST /v1/analyze  {"arch":"zen4","asm":"...","name":"..."}
+//	POST /v1/batch    {"requests":[{...},{...}]}
+//	GET  /v1/models
+//	GET  /healthz
+//
+// Example:
+//
+//	serve -cache-dir /var/cache/incore &
+//	curl -s localhost:8080/v1/analyze -d '{"arch":"goldencove","asm":".L0:\n\taddq $8, %rax\n\tcmpq %rbx, %rax\n\tjb .L0\n"}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"incore/internal/pipeline"
+	"incore/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	cacheDir := flag.String("cache-dir", "", "persistent result store directory (empty = process-local cache only)")
+	workers := flag.Int("j", 0, "pipeline workers for batch requests (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	nw := pipeline.SetDefaultWorkers(*workers)
+	if *cacheDir != "" {
+		st, err := pipeline.AttachStore(*cacheDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+			os.Exit(1)
+		}
+		log.Printf("serve: store attached at %s (schema %d)", st.Dir(), pipeline.StoreSchema())
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           serve.New().Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+	}
+	log.Printf("serve: listening on %s (pipeline j=%d)", *addr, nw)
+	if err := srv.ListenAndServe(); err != http.ErrServerClosed {
+		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -4,10 +4,13 @@
 //
 // Usage:
 //
-//	wabench [-arch all|goldencove|neoversev2|zen4] [-nt] [-sweep-threshold] [-j N]
+//	wabench [-arch all|goldencove|neoversev2|zen4] [-nt] [-sweep-threshold] [-j N] [-cache-dir DIR]
 //
 // -j N runs the per-system curves as parallel pipeline jobs (default 1,
 // 0 = GOMAXPROCS); output order and bytes are identical at any -j.
+// -cache-dir DIR attaches the persistent result store at DIR so WA
+// curves survive across runs; warm/cold lookup counts are then reported
+// on stderr. Output bytes are identical warm or cold.
 package main
 
 import (
@@ -27,8 +30,15 @@ func main() {
 	nt := flag.Bool("nt", false, "use non-temporal stores")
 	sweep := flag.Bool("sweep-threshold", false, "SpecI2M threshold ablation (goldencove)")
 	workers := flag.Int("j", 1, "pipeline workers (0 = GOMAXPROCS)")
+	cacheDir := flag.String("cache-dir", "", "persistent result store directory (empty = process-local cache only)")
 	flag.Parse()
 	pipeline.SetDefaultWorkers(*workers)
+	if *cacheDir != "" {
+		if _, err := pipeline.AttachStore(*cacheDir); err != nil {
+			fmt.Fprintf(os.Stderr, "wabench: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	if *sweep {
 		sweepThreshold()
@@ -67,6 +77,11 @@ func main() {
 	}
 	for _, out := range outputs {
 		os.Stdout.WriteString(out)
+	}
+	if ps := pipeline.PersistentStore(); ps != nil {
+		s := ps.Stats()
+		fmt.Fprintf(os.Stderr, "wabench: store %d warm / %d cold (mem %d, disk %d, evictions %d)\n",
+			s.Warm(), s.Misses, s.MemHits, s.DiskHits, s.Evictions)
 	}
 }
 

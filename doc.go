@@ -15,7 +15,9 @@
 //   - internal/core: the in-core analyzer (the paper's contribution)
 //   - internal/sim: the simulated "hardware"
 //   - internal/experiments: one runner per paper table/figure
-//   - cmd/repro, cmd/osaca, cmd/wabench: command-line tools
+//   - internal/store: persistent content-addressed result store
+//   - internal/serve: the analyzer as an HTTP JSON API
+//   - cmd/repro, cmd/osaca, cmd/wabench, cmd/serve: command-line tools
 //
 // See README.md for the architecture overview, DESIGN.md for the system
 // inventory and experiment index, and EXPERIMENTS.md for paper-vs-measured

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"incore/internal/depgraph"
+	"incore/internal/isa"
+	"incore/internal/uarch"
+)
+
+// ResultSchemaVersion identifies the stable wire encoding of Result.
+// Persistence layers (internal/store via internal/pipeline) stamp stored
+// entries with it; bump it whenever resultWire changes shape or meaning
+// so stale cached analyses self-evict instead of decoding wrongly.
+const ResultSchemaVersion = 1
+
+// resultWire mirrors Result minus the Block and Model pointers, which are
+// identity, not content: the cache key already pins their content, and the
+// decoder reattaches the caller's instances. Field names are part of the
+// schema — renaming one is a ResultSchemaVersion bump.
+type resultWire struct {
+	PortPressure  []float64          `json:"port_pressure"`
+	TPBound       float64            `json:"tp_bound"`
+	GreedyTPBound float64            `json:"greedy_tp_bound"`
+	IssueBound    float64            `json:"issue_bound"`
+	CriticalPath  float64            `json:"critical_path"`
+	CPPath        []int              `json:"cp_path"`
+	LCD           depgraph.LCDResult `json:"lcd"`
+	Prediction    float64            `json:"prediction"`
+	Bound         string             `json:"bound"`
+	Instrs        []InstrReport      `json:"instrs"`
+	TotalUops     int                `json:"total_uops"`
+}
+
+// MarshalStable encodes the analysis into its stable wire form. The
+// encoding is deterministic (fixed field order, shortest round-tripping
+// float representation), so equal Results produce equal bytes, and
+// float64 values survive a round trip bit-exactly — a warm decode renders
+// byte-identical reports.
+func (r *Result) MarshalStable() ([]byte, error) {
+	return json.Marshal(resultWire{
+		PortPressure:  r.PortPressure,
+		TPBound:       r.TPBound,
+		GreedyTPBound: r.GreedyTPBound,
+		IssueBound:    r.IssueBound,
+		CriticalPath:  r.CriticalPath,
+		CPPath:        r.CPPath,
+		LCD:           r.LCD,
+		Prediction:    r.Prediction,
+		Bound:         r.Bound,
+		Instrs:        r.Instrs,
+		TotalUops:     r.TotalUops,
+	})
+}
+
+// UnmarshalStable decodes a MarshalStable payload, reattaching the block
+// and machine model the caller analyzed. b and m must carry the same
+// content the encoded analysis was computed from (the persistence layers
+// guarantee this by keying entries on that content).
+func UnmarshalStable(data []byte, b *isa.Block, m *uarch.Model) (*Result, error) {
+	var w resultWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("core: decoding stored result: %w", err)
+	}
+	return &Result{
+		Block:         b,
+		Model:         m,
+		PortPressure:  w.PortPressure,
+		TPBound:       w.TPBound,
+		GreedyTPBound: w.GreedyTPBound,
+		IssueBound:    w.IssueBound,
+		CriticalPath:  w.CriticalPath,
+		CPPath:        w.CPPath,
+		LCD:           w.LCD,
+		Prediction:    w.Prediction,
+		Bound:         w.Bound,
+		Instrs:        w.Instrs,
+		TotalUops:     w.TotalUops,
+	}, nil
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"incore/internal/isa"
+	"incore/internal/uarch"
+)
+
+const encodeTestLoop = `
+.L0:
+	vmovupd (%rsi,%rax,8), %zmm0
+	vfmadd231pd (%rdx,%rax,8), %zmm15, %zmm0
+	vmovupd %zmm0, (%rdi,%rax,8)
+	addq $8, %rax
+	cmpq %rbx, %rax
+	jb .L0
+`
+
+func analyzeTriad(t *testing.T) (*Result, *isa.Block, *uarch.Model) {
+	t.Helper()
+	m, err := uarch.Get("goldencove")
+	if err != nil {
+		t.Fatalf("uarch.Get: %v", err)
+	}
+	b, err := isa.ParseBlock("triad", m.Key, m.Dialect, encodeTestLoop)
+	if err != nil {
+		t.Fatalf("ParseBlock: %v", err)
+	}
+	r, err := New().Analyze(b, m)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	return r, b, m
+}
+
+func TestStableRoundTrip(t *testing.T) {
+	r, b, m := analyzeTriad(t)
+	data, err := r.MarshalStable()
+	if err != nil {
+		t.Fatalf("MarshalStable: %v", err)
+	}
+	got, err := UnmarshalStable(data, b, m)
+	if err != nil {
+		t.Fatalf("UnmarshalStable: %v", err)
+	}
+	if !reflect.DeepEqual(got, r) {
+		t.Errorf("round trip diverged:\n got %+v\nwant %+v", got, r)
+	}
+	// The rendered report — what experiments and the HTTP API emit — must
+	// be byte-identical, or warm runs would not reproduce cold output.
+	if got.Report() != r.Report() {
+		t.Errorf("round-tripped report differs:\n%s\nvs\n%s", got.Report(), r.Report())
+	}
+}
+
+func TestMarshalStableDeterministic(t *testing.T) {
+	r, _, _ := analyzeTriad(t)
+	a, err := r.MarshalStable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.MarshalStable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("encoding not deterministic:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestUnmarshalStableRejectsGarbage(t *testing.T) {
+	_, b, m := analyzeTriad(t)
+	if _, err := UnmarshalStable([]byte("{truncated"), b, m); err == nil {
+		t.Fatal("UnmarshalStable accepted corrupt input")
+	}
+}

@@ -24,6 +24,10 @@ import (
 //
 // Cached values are shared: callers must treat returned pointers, slices,
 // and maps as immutable.
+//
+// With a persistent store attached (AttachStore), every wrapper here
+// reads through and writes back to it on memo misses, so results also
+// survive across processes; see persist.go for the tiering contract.
 
 // BlockKey returns the content key of a block: everything that determines
 // an analysis or simulation outcome, excluding the display name.
@@ -41,10 +45,15 @@ func simConfigKey(cfg sim.Config) string {
 }
 
 // Analyze memoizes core.Analyzer.Analyze by (analyzer options, machine
-// model, block content).
+// model, block content). With a store attached, results persist across
+// processes in core.Result's stable wire form; a warm decode reattaches
+// the requesting block and model, whose content the key already pins.
 func Analyze(an *core.Analyzer, b *isa.Block, m *uarch.Model) (*core.Result, error) {
 	key := "analyze\x00" + an.Fingerprint() + "\x00" + m.Key + "\x00" + BlockKey(b)
-	return Do(shared, key, func() (*core.Result, error) { return an.Analyze(b, m) })
+	return doStored(shared, key,
+		(*core.Result).MarshalStable,
+		func(data []byte) (*core.Result, error) { return core.UnmarshalStable(data, b, m) },
+		func() (*core.Result, error) { return an.Analyze(b, m) })
 }
 
 // Simulate memoizes sim.Run by (machine model, simulator config, block
@@ -55,13 +64,13 @@ func Simulate(b *isa.Block, m *uarch.Model, cfg sim.Config) (*sim.Result, error)
 		return sim.Run(b, m, cfg)
 	}
 	key := "sim\x00" + m.Key + "\x00" + simConfigKey(cfg) + "\x00" + BlockKey(b)
-	return Do(shared, key, func() (*sim.Result, error) { return sim.Run(b, m, cfg) })
+	return doStoredJSON(shared, key, func() (*sim.Result, error) { return sim.Run(b, m, cfg) })
 }
 
 // MCAPredict memoizes mca.PredictDefault by (machine model, block content).
 func MCAPredict(b *isa.Block, m *uarch.Model) (*mca.Result, error) {
 	key := "mca\x00" + m.Key + "\x00" + BlockKey(b)
-	return Do(shared, key, func() (*mca.Result, error) { return mca.PredictDefault(b, m) })
+	return doStoredJSON(shared, key, func() (*mca.Result, error) { return mca.PredictDefault(b, m) })
 }
 
 // MeasureInstr memoizes ibench.Measure by (machine model, instruction
@@ -71,7 +80,7 @@ func MeasureInstr(m *uarch.Model, kind ibench.Kind, cfg sim.Config) (*ibench.Res
 		return ibench.Measure(m, kind, cfg)
 	}
 	key := "ibench\x00" + m.Key + "\x00" + strconv.Itoa(int(kind)) + "\x00" + simConfigKey(cfg)
-	return Do(shared, key, func() (*ibench.Result, error) { return ibench.Measure(m, kind, cfg) })
+	return doStoredJSON(shared, key, func() (*ibench.Result, error) { return ibench.Measure(m, kind, cfg) })
 }
 
 // WACurve memoizes memsim.WACurve by (node key, store flavour, sweep).
@@ -81,7 +90,7 @@ func WACurve(key string, nt bool, counts []int) (map[int]float64, error) {
 		parts[i] = strconv.Itoa(c)
 	}
 	ck := fmt.Sprintf("wacurve\x00%s\x00%t\x00%s", key, nt, strings.Join(parts, ","))
-	return Do(shared, ck, func() (map[int]float64, error) { return memsim.WACurve(key, nt, counts) })
+	return doStoredJSON(shared, ck, func() (map[int]float64, error) { return memsim.WACurve(key, nt, counts) })
 }
 
 // Triad memoizes one triad sample — (node, active cores, lines per core,
@@ -90,7 +99,7 @@ func WACurve(key string, nt bool, counts []int) (map[int]float64, error) {
 // system swept serially.
 func Triad(key string, cores, linesPerCore int, nt bool) (memsim.TrafficResult, error) {
 	ck := fmt.Sprintf("triad\x00%s\x00%d\x00%d\x00%t", key, cores, linesPerCore, nt)
-	return Do(shared, ck, func() (memsim.TrafficResult, error) {
+	return doStoredJSON(shared, ck, func() (memsim.TrafficResult, error) {
 		cfg, err := memsim.ConfigFor(key)
 		if err != nil {
 			return memsim.TrafficResult{}, err

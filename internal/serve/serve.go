@@ -1,0 +1,254 @@
+// Package serve exposes the in-core analyzer as an HTTP JSON API — the
+// interactive, OSACA-style "analyze this block on this uarch" service the
+// paper's tooling offers, grown to production shape: requests route
+// through the same pipeline memo cache and persistent result store as
+// batch reproduction (cmd/repro), so served traffic and reproduction
+// share one cache and one determinism contract. Analyzing a block over
+// HTTP returns exactly what cmd/osaca prints for the same input.
+//
+// Endpoints:
+//
+//	POST /v1/analyze  one assembly block        → AnalyzeResponse
+//	POST /v1/batch    many blocks in one call   → BatchResponse
+//	GET  /v1/models   registered machine models → []ModelInfo
+//	GET  /healthz     liveness + cache stats    → HealthResponse
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"incore/internal/core"
+	"incore/internal/isa"
+	"incore/internal/pipeline"
+	"incore/internal/store"
+	"incore/internal/uarch"
+)
+
+// maxRequestBytes bounds a request body; an assembly listing is small,
+// and a bound keeps a malformed client from holding memory hostage.
+const maxRequestBytes = 4 << 20
+
+// AnalyzeRequest asks for an in-core analysis of one assembly block.
+type AnalyzeRequest struct {
+	// Arch selects a registered machine model key (GET /v1/models).
+	Arch string `json:"arch"`
+	// Asm is the assembly listing, in the model's dialect.
+	// OSACA/LLVM-MCA/IACA region markers are honored when present.
+	Asm string `json:"asm"`
+	// Name labels the block in the rendered report. Optional; it does
+	// not affect the analysis or its cache key.
+	Name string `json:"name,omitempty"`
+}
+
+// AnalyzeResponse is the analysis outcome for one block.
+type AnalyzeResponse struct {
+	Name string `json:"name"`
+	Arch string `json:"arch"`
+	// Prediction is the lower-bound cycles per block iteration;
+	// Bound names the binding constraint ("port", "issue", "lcd").
+	Prediction    float64 `json:"prediction"`
+	Bound         string  `json:"bound"`
+	TPBound       float64 `json:"tp_bound"`
+	GreedyTPBound float64 `json:"greedy_tp_bound"`
+	IssueBound    float64 `json:"issue_bound"`
+	CriticalPath  float64 `json:"critical_path"`
+	LCDCycles     float64 `json:"lcd_cycles"`
+	LCDPath       []int   `json:"lcd_path,omitempty"`
+	TotalUops     int     `json:"total_uops"`
+	// Report is the OSACA-style text report, identical to cmd/osaca's
+	// output for the same block and model.
+	Report string `json:"report"`
+}
+
+// BatchRequest carries many analyze requests; results come back in
+// request order, each independently succeeding or failing.
+type BatchRequest struct {
+	Requests []AnalyzeRequest `json:"requests"`
+}
+
+// BatchItem is one batch result: exactly one of Result or Error is set.
+type BatchItem struct {
+	Result *AnalyzeResponse `json:"result,omitempty"`
+	Error  string           `json:"error,omitempty"`
+}
+
+// BatchResponse is the ordered outcome of a batch call.
+type BatchResponse struct {
+	Results []BatchItem `json:"results"`
+}
+
+// ModelInfo describes one registered machine model.
+type ModelInfo struct {
+	Key        string   `json:"key"`
+	Name       string   `json:"name"`
+	CPU        string   `json:"cpu"`
+	Vendor     string   `json:"vendor"`
+	Dialect    string   `json:"dialect"`
+	Ports      []string `json:"ports"`
+	IssueWidth int      `json:"issue_width"`
+}
+
+// HealthResponse reports liveness plus the cache accounting that serves
+// as the performance observable (hit counts, not wall-clock).
+type HealthResponse struct {
+	Status string         `json:"status"`
+	Models int            `json:"models"`
+	Cache  pipeline.Stats `json:"cache"`
+	Store  *store.Stats   `json:"store,omitempty"`
+}
+
+// errorBody is the JSON error envelope for non-2xx responses.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// Server handles analysis requests with one analyzer configuration.
+type Server struct {
+	an *core.Analyzer
+}
+
+// New returns a server with OSACA-like analyzer defaults — the same
+// configuration cmd/osaca and the experiment runners use, so all three
+// share cache entries.
+func New() *Server { return &Server{an: core.New()} }
+
+// Handler returns the route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("GET /v1/models", s.handleModels)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// analyze runs one request through the memoized pipeline path.
+func (s *Server) analyze(req AnalyzeRequest) (*AnalyzeResponse, error) {
+	if req.Arch == "" {
+		return nil, errors.New("missing arch")
+	}
+	if req.Asm == "" {
+		return nil, errors.New("missing asm")
+	}
+	m, err := uarch.Get(req.Arch)
+	if err != nil {
+		return nil, err
+	}
+	name := req.Name
+	if name == "" {
+		name = "block"
+	}
+	b, err := isa.ParseMarkedBlock(name, m.Key, m.Dialect, req.Asm)
+	if err != nil {
+		return nil, err
+	}
+	res, err := pipeline.Analyze(s.an, b, m)
+	if err != nil {
+		return nil, err
+	}
+	// The memoized Result may carry the block of an earlier requester
+	// with identical content but a different name; render the report
+	// against a shallow copy holding this request's block so the label
+	// always matches the request.
+	labeled := *res
+	labeled.Block = b
+	return &AnalyzeResponse{
+		Name:          name,
+		Arch:          m.Key,
+		Prediction:    res.Prediction,
+		Bound:         res.Bound,
+		TPBound:       res.TPBound,
+		GreedyTPBound: res.GreedyTPBound,
+		IssueBound:    res.IssueBound,
+		CriticalPath:  res.CriticalPath,
+		LCDCycles:     res.LCD.Cycles,
+		LCDPath:       res.LCD.Path,
+		TotalUops:     res.TotalUops,
+		Report:        labeled.Report(),
+	}, nil
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	var req AnalyzeRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	resp, err := s.analyze(req)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	// One pipeline map over the shared pool: batch items parallelize
+	// exactly like experiment jobs, deduplicate through the same memo
+	// tier, and come back in request order. Item failures are data, not
+	// a map error, so one bad block cannot veto its neighbors.
+	items, _ := pipeline.Map(pipeline.Default(), req.Requests, func(ar AnalyzeRequest) (BatchItem, error) {
+		resp, err := s.analyze(ar)
+		if err != nil {
+			return BatchItem{Error: err.Error()}, nil
+		}
+		return BatchItem{Result: resp}, nil
+	})
+	writeJSON(w, http.StatusOK, BatchResponse{Results: items})
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	keys := uarch.Keys()
+	infos := make([]ModelInfo, 0, len(keys))
+	for _, k := range keys {
+		m := uarch.MustGet(k)
+		dialect := "x86"
+		if m.Dialect == isa.DialectAArch64 {
+			dialect = "aarch64"
+		}
+		infos = append(infos, ModelInfo{
+			Key:        m.Key,
+			Name:       m.Name,
+			CPU:        m.CPU,
+			Vendor:     m.Vendor,
+			Dialect:    dialect,
+			Ports:      m.Ports,
+			IssueWidth: m.IssueWidth,
+		})
+	}
+	writeJSON(w, http.StatusOK, infos)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	resp := HealthResponse{Status: "ok", Models: len(uarch.Keys()), Cache: pipeline.Shared().Stats()}
+	if st := pipeline.PersistentStore(); st != nil {
+		stats := st.Stats()
+		resp.Store = &stats
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("invalid request body: %w", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

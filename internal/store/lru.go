@@ -1,0 +1,93 @@
+package store
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lru is a sharded least-recently-used byte cache. Sharding by the first
+// byte of the (uniformly distributed) SHA-256 hex key keeps lock
+// contention low under concurrent readers without a global lock.
+type lru struct {
+	shards []*lruShard
+}
+
+type lruShard struct {
+	mu  sync.Mutex
+	cap int
+	m   map[string]*list.Element
+	ll  *list.List // front = most recently used
+}
+
+type lruEntry struct {
+	key     string
+	payload []byte
+}
+
+func newLRU(capacity, shards int) *lru {
+	per := (capacity + shards - 1) / shards
+	if per < 1 {
+		per = 1
+	}
+	l := &lru{shards: make([]*lruShard, shards)}
+	for i := range l.shards {
+		l.shards[i] = &lruShard{cap: per, m: map[string]*list.Element{}, ll: list.New()}
+	}
+	return l
+}
+
+func (l *lru) shard(key string) *lruShard {
+	if len(key) == 0 {
+		return l.shards[0]
+	}
+	return l.shards[int(key[0])%len(l.shards)]
+}
+
+func (l *lru) get(key string) ([]byte, bool) {
+	s := l.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.m[key]
+	if !ok {
+		return nil, false
+	}
+	s.ll.MoveToFront(e)
+	return e.Value.(*lruEntry).payload, true
+}
+
+func (l *lru) put(key string, payload []byte) {
+	s := l.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.m[key]; ok {
+		s.ll.MoveToFront(e)
+		e.Value.(*lruEntry).payload = payload
+		return
+	}
+	s.m[key] = s.ll.PushFront(&lruEntry{key: key, payload: payload})
+	for s.ll.Len() > s.cap {
+		oldest := s.ll.Back()
+		s.ll.Remove(oldest)
+		delete(s.m, oldest.Value.(*lruEntry).key)
+	}
+}
+
+func (l *lru) remove(key string) {
+	s := l.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.m[key]; ok {
+		s.ll.Remove(e)
+		delete(s.m, key)
+	}
+}
+
+func (l *lru) len() int {
+	n := 0
+	for _, s := range l.shards {
+		s.mu.Lock()
+		n += s.ll.Len()
+		s.mu.Unlock()
+	}
+	return n
+}

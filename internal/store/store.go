@@ -1,0 +1,226 @@
+// Package store is the persistent, content-addressed result store that
+// lets analyzer, simulator, and write-allocate-curve results survive
+// across processes. It composes two tiers:
+//
+//   - a sharded in-memory LRU (lru.go) absorbing repeated reads within a
+//     process without touching the filesystem, and
+//   - an on-disk layer, one file per entry, addressed by the SHA-256 of
+//     the entry's content key and sharded into 256 prefix directories so
+//     no single directory grows unboundedly.
+//
+// Keys are the same content keys the pipeline memo cache uses
+// (core.Analyzer.Fingerprint plus model key plus block text, and
+// friends): everything that determines the result, nothing that doesn't.
+// Payloads are opaque bytes; callers bring their own encoding.
+//
+// Every disk entry carries a schema-version stamp. An entry whose stamp
+// differs from the open store's schema — or that is truncated, corrupted,
+// or hash-collided — self-evicts on read: the file is deleted and the
+// lookup reports a miss, so a schema bump or a damaged cache directory
+// degrades to a cold run instead of an error or, worse, a stale result.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+)
+
+// envelopeVersion identifies the on-disk envelope layout itself,
+// independent of the caller's payload schema.
+const envelopeVersion = 1
+
+// envelope is the on-disk entry format. Key is stored verbatim so a read
+// can reject SHA-256 prefix collisions and detect truncation cheaply.
+// Payload is opaque bytes (base64 on disk): the store must not assume its
+// callers' encoding.
+type envelope struct {
+	V       int    `json:"v"`
+	Schema  int    `json:"schema"`
+	Key     string `json:"key"`
+	Payload []byte `json:"payload"`
+}
+
+// Options configures Open.
+type Options struct {
+	// Schema is the caller's payload schema version. Entries stamped
+	// with any other value self-evict on read. Bump it whenever the
+	// encoding of any stored payload changes shape or meaning.
+	Schema int
+	// MemEntries caps the in-memory LRU tier (0 selects 4096).
+	MemEntries int
+	// Shards sets the LRU shard count (0 selects 16).
+	Shards int
+}
+
+// Stats is a point-in-time accounting snapshot of one store.
+type Stats struct {
+	// MemHits were served from the in-memory LRU tier.
+	MemHits uint64 `json:"mem_hits"`
+	// DiskHits were read, verified, and promoted from the disk tier.
+	DiskHits uint64 `json:"disk_hits"`
+	// Misses found no usable entry in either tier (cold lookups).
+	Misses uint64 `json:"misses"`
+	// Evictions counts disk entries deleted on read because they were
+	// stale (schema mismatch) or damaged (truncated, corrupted,
+	// key-collided).
+	Evictions uint64 `json:"evictions"`
+	// PutErrors counts failed writes (the store stays usable; a failed
+	// put only costs a future cold lookup).
+	PutErrors uint64 `json:"put_errors"`
+	// MemEntries is the current in-memory LRU population.
+	MemEntries int `json:"mem_entries"`
+}
+
+// Warm returns the lookups served without recomputation.
+func (s Stats) Warm() uint64 { return s.MemHits + s.DiskHits }
+
+// Store is a two-tier persistent result store. It is safe for concurrent
+// use; payloads returned by Get are shared and must not be mutated.
+type Store struct {
+	dir    string
+	schema int
+	mem    *lru
+
+	memHits   atomic.Uint64
+	diskHits  atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+	putErrors atomic.Uint64
+}
+
+// Open prepares dir (creating it if needed) and returns a store stamping
+// entries with o.Schema.
+func Open(dir string, o Options) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	capacity := o.MemEntries
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	shards := o.Shards
+	if shards <= 0 {
+		shards = 16
+	}
+	return &Store{dir: dir, schema: o.Schema, mem: newLRU(capacity, shards)}, nil
+}
+
+// Dir returns the store's on-disk root.
+func (s *Store) Dir() string { return s.dir }
+
+// path maps a content key to its entry file: dir/<hh>/<sha256 hex>.json.
+func (s *Store) path(key string) (string, string) {
+	sum := sha256.Sum256([]byte(key))
+	h := hex.EncodeToString(sum[:])
+	return h, filepath.Join(s.dir, h[:2], h+".json")
+}
+
+// Get returns the payload stored for key, consulting the memory tier
+// first and falling back to disk. Damaged or schema-stale disk entries
+// are deleted and reported as misses.
+func (s *Store) Get(key string) ([]byte, bool) {
+	return s.GetValidated(key, nil)
+}
+
+// GetValidated is Get with a caller-supplied payload check: a payload
+// validate rejects is treated exactly like a corrupted entry — dropped
+// from both tiers, counted as an eviction and a miss — so Warm() counts
+// only lookups that truly spared the caller a recomputation, and a
+// payload-level decode drift can never report a 100%-warm run that in
+// fact recomputed everything.
+func (s *Store) GetValidated(key string, validate func([]byte) error) ([]byte, bool) {
+	h, p := s.path(key)
+	if payload, ok := s.mem.get(h); ok {
+		if validate != nil && validate(payload) != nil {
+			s.mem.remove(h)
+			os.Remove(p)
+			s.evictions.Add(1)
+			s.misses.Add(1)
+			return nil, false
+		}
+		s.memHits.Add(1)
+		return payload, true
+	}
+	data, err := os.ReadFile(p)
+	if err != nil {
+		s.misses.Add(1)
+		return nil, false
+	}
+	var e envelope
+	if err := json.Unmarshal(data, &e); err != nil ||
+		e.V != envelopeVersion || e.Schema != s.schema || e.Key != key ||
+		(validate != nil && validate(e.Payload) != nil) {
+		os.Remove(p)
+		s.evictions.Add(1)
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.mem.put(h, e.Payload)
+	s.diskHits.Add(1)
+	return e.Payload, true
+}
+
+// Put stores payload under key in both tiers. Disk writes are atomic
+// (temp file + rename), so concurrent writers and readers of one entry
+// never observe a partial file; write failures are counted, not returned —
+// a store that cannot persist degrades to a per-process cache.
+func (s *Store) Put(key string, payload []byte) {
+	h, p := s.path(key)
+	s.mem.put(h, payload)
+	data, err := json.Marshal(envelope{V: envelopeVersion, Schema: s.schema, Key: key, Payload: payload})
+	if err != nil {
+		s.putErrors.Add(1)
+		return
+	}
+	if err := writeAtomic(p, data); err != nil {
+		s.putErrors.Add(1)
+	}
+}
+
+// writeAtomic writes data to path via a same-directory temp file and
+// rename, creating the shard directory on demand.
+func writeAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	_, werr := f.Write(data)
+	cerr := f.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return werr
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// Stats returns the current accounting.
+func (s *Store) Stats() Stats {
+	return Stats{
+		MemHits:    s.memHits.Load(),
+		DiskHits:   s.diskHits.Load(),
+		Misses:     s.misses.Load(),
+		Evictions:  s.evictions.Load(),
+		PutErrors:  s.putErrors.Load(),
+		MemEntries: s.mem.len(),
+	}
+}

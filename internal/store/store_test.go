@@ -1,0 +1,239 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func open(t *testing.T, dir string, o Options) *Store {
+	t.Helper()
+	s, err := Open(dir, o)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s
+}
+
+func entryPath(dir, key string) string {
+	sum := sha256.Sum256([]byte(key))
+	h := hex.EncodeToString(sum[:])
+	return filepath.Join(dir, h[:2], h+".json")
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{Schema: 1})
+	key := "analyze\x00falsedeps=false\x00zen4\x00\tvmulpd %ymm0, %ymm1, %ymm2\n"
+	payload := []byte(`{"prediction":1.5}`)
+
+	if _, ok := s.Get(key); ok {
+		t.Fatal("Get on empty store reported a hit")
+	}
+	s.Put(key, payload)
+	got, ok := s.Get(key)
+	if !ok || string(got) != string(payload) {
+		t.Fatalf("Get = %q, %v; want %q, true", got, ok, payload)
+	}
+	st := s.Stats()
+	if st.MemHits != 1 || st.Misses != 1 || st.PutErrors != 0 {
+		t.Fatalf("stats = %+v; want 1 mem hit, 1 miss", st)
+	}
+}
+
+func TestDiskHitAcrossProcesses(t *testing.T) {
+	dir := t.TempDir()
+	s1 := open(t, dir, Options{Schema: 7})
+	s1.Put("k", []byte("42"))
+
+	// A fresh Store over the same directory models a new process: the
+	// memory tier is empty, so the hit must come from disk.
+	s2 := open(t, dir, Options{Schema: 7})
+	got, ok := s2.Get("k")
+	if !ok || string(got) != "42" {
+		t.Fatalf("Get = %q, %v; want 42, true", got, ok)
+	}
+	st := s2.Stats()
+	if st.DiskHits != 1 || st.MemHits != 0 {
+		t.Fatalf("stats = %+v; want exactly 1 disk hit", st)
+	}
+	// The read promoted the entry into memory.
+	if _, ok := s2.Get("k"); !ok {
+		t.Fatal("second Get missed")
+	}
+	if st := s2.Stats(); st.MemHits != 1 {
+		t.Fatalf("stats after promotion = %+v; want 1 mem hit", st)
+	}
+}
+
+func TestSchemaMismatchEvicts(t *testing.T) {
+	dir := t.TempDir()
+	open(t, dir, Options{Schema: 1}).Put("k", []byte("old"))
+
+	s := open(t, dir, Options{Schema: 2})
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("schema-stale entry served as a hit")
+	}
+	if st := s.Stats(); st.Evictions != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v; want 1 eviction, 1 miss", st)
+	}
+	if _, err := os.Stat(entryPath(dir, "k")); !os.IsNotExist(err) {
+		t.Fatalf("stale entry file still present (err=%v)", err)
+	}
+	// The slot is reusable at the new schema.
+	s.Put("k", []byte("new"))
+	if got, ok := s.Get("k"); !ok || string(got) != "new" {
+		t.Fatalf("Get after rewrite = %q, %v", got, ok)
+	}
+}
+
+func TestCorruptedEntryEvicts(t *testing.T) {
+	for name, mutate := range map[string]func([]byte) []byte{
+		"truncated":    func(b []byte) []byte { return b[:len(b)/2] },
+		"garbage":      func([]byte) []byte { return []byte("not json at all{{{") },
+		"empty":        func([]byte) []byte { return nil },
+		"wrongKey":     func([]byte) []byte { return []byte(`{"v":1,"schema":1,"key":"other","payload":"MQ=="}`) },
+		"wrongVersion": func([]byte) []byte { return []byte(`{"v":99,"schema":1,"key":"k","payload":"MQ=="}`) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			open(t, dir, Options{Schema: 1}).Put("k", []byte("1"))
+			p := entryPath(dir, "k")
+			raw, err := os.ReadFile(p)
+			if err != nil {
+				t.Fatalf("ReadFile: %v", err)
+			}
+			if err := os.WriteFile(p, mutate(raw), 0o644); err != nil {
+				t.Fatalf("WriteFile: %v", err)
+			}
+
+			s := open(t, dir, Options{Schema: 1})
+			if _, ok := s.Get("k"); ok {
+				t.Fatal("damaged entry served as a hit")
+			}
+			if st := s.Stats(); st.Evictions != 1 {
+				t.Fatalf("stats = %+v; want 1 eviction", st)
+			}
+			if _, err := os.Stat(p); !os.IsNotExist(err) {
+				t.Fatalf("damaged entry file still present (err=%v)", err)
+			}
+		})
+	}
+}
+
+func TestGetValidatedRejectionIsMissAtBothTiers(t *testing.T) {
+	reject := func([]byte) error { return fmt.Errorf("undecodable") }
+
+	// Rejection at the memory tier: the entry was just Put, so it is
+	// resident in the LRU.
+	dir := t.TempDir()
+	s := open(t, dir, Options{Schema: 1})
+	s.Put("k", []byte("x"))
+	if _, ok := s.GetValidated("k", reject); ok {
+		t.Fatal("rejected payload served as a hit from memory")
+	}
+	if st := s.Stats(); st.Warm() != 0 || st.Misses != 1 || st.Evictions != 1 || st.MemEntries != 0 {
+		t.Fatalf("stats after mem-tier rejection = %+v; want 0 warm, 1 miss, 1 eviction, empty LRU", st)
+	}
+	if _, err := os.Stat(entryPath(dir, "k")); !os.IsNotExist(err) {
+		t.Fatalf("rejected entry file still present (err=%v)", err)
+	}
+
+	// Rejection at the disk tier: a fresh Store has an empty LRU.
+	dir2 := t.TempDir()
+	open(t, dir2, Options{Schema: 1}).Put("k", []byte("x"))
+	s2 := open(t, dir2, Options{Schema: 1})
+	if _, ok := s2.GetValidated("k", reject); ok {
+		t.Fatal("rejected payload served as a hit from disk")
+	}
+	if st := s2.Stats(); st.Warm() != 0 || st.Misses != 1 || st.Evictions != 1 {
+		t.Fatalf("stats after disk-tier rejection = %+v; want 0 warm, 1 miss, 1 eviction", st)
+	}
+
+	// An accepting validator behaves like plain Get.
+	dir3 := t.TempDir()
+	s3 := open(t, dir3, Options{Schema: 1})
+	s3.Put("k", []byte("x"))
+	if got, ok := s3.GetValidated("k", func([]byte) error { return nil }); !ok || string(got) != "x" {
+		t.Fatalf("GetValidated with accepting validator = %q, %v", got, ok)
+	}
+	if st := s3.Stats(); st.Warm() != 1 {
+		t.Fatalf("accepting validator must count a warm hit: %+v", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	dir := t.TempDir()
+	// One shard of capacity 2 makes eviction order observable.
+	s := open(t, dir, Options{Schema: 1, MemEntries: 2, Shards: 1})
+	s.Put("a", []byte("A"))
+	s.Put("b", []byte("B"))
+	s.Get("a") // a is now most recently used
+	s.Put("c", []byte("C"))
+	if got := s.Stats().MemEntries; got != 2 {
+		t.Fatalf("MemEntries = %d; want 2", got)
+	}
+	base := s.Stats()
+	// b was evicted from memory but must still be served from disk.
+	if _, ok := s.Get("b"); !ok {
+		t.Fatal("evicted entry lost from disk tier")
+	}
+	if st := s.Stats(); st.DiskHits != base.DiskHits+1 {
+		t.Fatalf("Get(b) not served from disk: %+v", st)
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := s.Get(k); !ok {
+			t.Fatalf("Get(%q) missed", k)
+		}
+	}
+}
+
+func TestConcurrentReadersWriters(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{Schema: 1, MemEntries: 32})
+	const keys = 64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < keys; i++ {
+				k := fmt.Sprintf("key-%d", (i+g)%keys)
+				want := fmt.Sprintf("val-%d", (i+g)%keys)
+				s.Put(k, []byte(want))
+				if got, ok := s.Get(k); ok && string(got) != want {
+					t.Errorf("Get(%q) = %q; want %q", k, got, want)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := s.Stats(); st.PutErrors != 0 {
+		t.Fatalf("put errors under concurrency: %+v", st)
+	}
+	// Every key must be durable and correct after the dust settles.
+	s2 := open(t, dir, Options{Schema: 1})
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if got, ok := s2.Get(k); !ok || string(got) != fmt.Sprintf("val-%d", i) {
+			t.Fatalf("Get(%q) = %q, %v after concurrent writes", k, got, ok)
+		}
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	if _, err := Open("", Options{}); err == nil {
+		t.Fatal("Open(\"\") succeeded")
+	}
+	f := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(filepath.Join(f, "sub"), Options{}); err == nil {
+		t.Fatal("Open under a regular file succeeded")
+	}
+}
