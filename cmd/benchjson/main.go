@@ -1,0 +1,204 @@
+// Command benchjson measures the simulator/analyzer hot paths with
+// testing.Benchmark and emits machine-readable JSON, so perf numbers can
+// be committed (BENCH_sim.json) and regressions gated in CI.
+//
+// Usage:
+//
+//	benchjson                      # print current numbers as JSON
+//	benchjson -check BENCH_sim.json  # fail if allocs/op exceeds a budget
+//	benchjson -update BENCH_sim.json # rewrite the file's "current" block
+//
+// The CI gate compares allocations per operation, not nanoseconds:
+// allocation counts are deterministic on any machine, while wall-clock on
+// shared single-CPU CI runners is noise (see EXPERIMENTS.md). ns/op and
+// B/op are recorded for humans reading the file.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"testing"
+
+	"incore/internal/core"
+	"incore/internal/isa"
+	"incore/internal/kernels"
+	"incore/internal/sim"
+	"incore/internal/uarch"
+)
+
+// Metrics is one benchmark's measurement.
+type Metrics struct {
+	NsPerOp     int64 `json:"ns_op"`
+	BytesPerOp  int64 `json:"b_op"`
+	AllocsPerOp int64 `json:"allocs_op"`
+}
+
+// File is the schema of BENCH_sim.json.
+type File struct {
+	Schema int    `json:"schema"`
+	Note   string `json:"note"`
+	// BaselinePreRefactor preserves the numbers measured on the
+	// map-based O(iterations) simulator before the compiled/ring-buffer
+	// engine landed, so the delta stays on the record.
+	BaselinePreRefactor map[string]Metrics `json:"baseline_pre_refactor"`
+	// Current is the last committed measurement of this tree.
+	Current map[string]Metrics `json:"current"`
+	// AllocBudget is the CI gate: allocs/op above the budget fails.
+	// Budgets carry headroom over Current so pool warmup and Go-version
+	// drift don't flake, while a hot-path regression still trips.
+	AllocBudget map[string]int64 `json:"alloc_budget"`
+}
+
+func genBlock(name, arch string, c kernels.Compiler, o kernels.OptLevel) *isa.Block {
+	k, err := kernels.ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	b, err := kernels.Generate(k, kernels.Config{Arch: arch, Compiler: c, Opt: o})
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// suite returns the benchmark set, keyed by stable names. It mirrors the
+// repo-level Benchmark{Simulator,Analyzer}SingleBlock benches and adds an
+// AArch64 block and the Zen 4 divide kernel (whose non-dyadic early-exit
+// occupancies keep the simulator on the full-length path).
+func suite() map[string]func(b *testing.B) {
+	striadGLC := genBlock("striad", "goldencove", kernels.GCC, kernels.O3)
+	j3d27V2 := genBlock("j3d27", "neoversev2", kernels.GCC, kernels.O3)
+	piZen4 := genBlock("pi", "zen4", kernels.GCC, kernels.O3)
+
+	simBench := func(blk *isa.Block, arch string) func(b *testing.B) {
+		m := uarch.MustGet(arch)
+		cfg := sim.DefaultConfig(m)
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Run(blk, m, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	an := core.New()
+	glc := uarch.MustGet("goldencove")
+	return map[string]func(b *testing.B){
+		"SimRun/goldencove/striad": simBench(striadGLC, "goldencove"),
+		"SimRun/neoversev2/j3d27":  simBench(j3d27V2, "neoversev2"),
+		"SimRun/zen4/pi":           simBench(piZen4, "zen4"),
+		"Analyze/goldencove/striad": func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := an.Analyze(striadGLC, glc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+	}
+}
+
+func measure() map[string]Metrics {
+	out := map[string]Metrics{}
+	names := make([]string, 0)
+	benches := suite()
+	for n := range benches {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		r := testing.Benchmark(benches[n])
+		out[n] = Metrics{
+			NsPerOp:     r.NsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %-26s %10d ns/op %8d B/op %6d allocs/op\n",
+			n, r.NsPerOp(), r.AllocedBytesPerOp(), r.AllocsPerOp())
+	}
+	return out
+}
+
+func readFile(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}
+
+func main() {
+	check := flag.String("check", "", "compare allocs/op against the alloc_budget in this BENCH file; non-zero exit on regression")
+	update := flag.String("update", "", "rewrite the given BENCH file's current block with fresh measurements")
+	flag.Parse()
+
+	if *check != "" && *update != "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -check and -update are mutually exclusive")
+		os.Exit(2)
+	}
+	// Validate the target file before spending seconds on measurement.
+	var f *File
+	if path := *check + *update; path != "" {
+		var err error
+		if f, err = readFile(path); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	cur := measure()
+
+	switch {
+	case *check != "":
+		failed := false
+		names := make([]string, 0, len(f.AllocBudget))
+		for n := range f.AllocBudget {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			budget := f.AllocBudget[n]
+			m, ok := cur[n]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "benchjson: FAIL %s: budgeted benchmark no longer measured\n", n)
+				failed = true
+				continue
+			}
+			if m.AllocsPerOp > budget {
+				fmt.Fprintf(os.Stderr, "benchjson: FAIL %s: %d allocs/op exceeds budget %d\n", n, m.AllocsPerOp, budget)
+				failed = true
+			} else {
+				fmt.Fprintf(os.Stderr, "benchjson: ok   %s: %d allocs/op within budget %d\n", n, m.AllocsPerOp, budget)
+			}
+		}
+		if failed {
+			os.Exit(1)
+		}
+	case *update != "":
+		f.Current = cur
+		data, err := json.MarshalIndent(f, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*update, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+	default:
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(cur); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

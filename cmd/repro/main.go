@@ -4,6 +4,7 @@
 // Usage:
 //
 //	repro [-exp all|table1|table2|table3|fig2|fig3|fig4|ecm|nodeperf] [-j N] [-format text|json] [-cache-dir DIR]
+//	      [-cpuprofile FILE] [-memprofile FILE]
 //
 // Flags:
 //
@@ -25,6 +26,9 @@
 //	    accounting (and wall-clock time) changes. JSON mode embeds the
 //	    store accounting in its output object, so there only the
 //	    experiments array is run-invariant.
+//	-cpuprofile FILE / -memprofile FILE
+//	    Write runtime/pprof CPU and allocation profiles, so performance
+//	    work on the pipeline can show where cycles and allocations go.
 //
 // After a text run the pipeline's memo-cache accounting (hits, misses,
 // entries) is reported on stderr — plus the store's warm/cold lookup
@@ -40,8 +44,13 @@ import (
 
 	"incore/internal/experiments"
 	"incore/internal/pipeline"
+	"incore/internal/profiling"
 	"incore/internal/store"
 )
+
+// stopProfiles flushes any active pprof profiles; failIf and the end of
+// main both call it so profiles survive error exits too.
+var stopProfiles = func() {}
 
 type renderer interface{ Render() string }
 
@@ -57,17 +66,21 @@ func main() {
 	workers := flag.Int("j", 1, "pipeline workers (0 = GOMAXPROCS)")
 	format := flag.String("format", "text", "output format: text or json")
 	cacheDir := flag.String("cache-dir", "", "persistent result store directory (empty = process-local cache only)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
 
+	stop, err := profiling.Start(*cpuprofile, *memprofile)
+	failIf(err)
+	stopProfiles = stop
+
 	if *format != "text" && *format != "json" {
-		fmt.Fprintf(os.Stderr, "repro: unknown format %q (want text or json)\n", *format)
-		os.Exit(2)
+		fail(2, "repro: unknown format %q (want text or json)\n", *format)
 	}
 	nw := pipeline.SetDefaultWorkers(*workers)
 	if *cacheDir != "" {
 		if _, err := pipeline.AttachStore(*cacheDir); err != nil {
-			fmt.Fprintf(os.Stderr, "repro: %v\n", err)
-			os.Exit(1)
+			fail(1, "repro: %v\n", err)
 		}
 	}
 
@@ -111,8 +124,7 @@ func main() {
 	if *exp == "all" {
 		names = order
 	} else if _, ok := runners[*exp]; !ok {
-		fmt.Fprintf(os.Stderr, "repro: unknown experiment %q (want one of %v)\n", *exp, order)
-		os.Exit(2)
+		fail(2, "repro: unknown experiment %q (want one of %v)\n", *exp, order)
 	}
 
 	// Submit every requested experiment as one job graph (independent
@@ -122,8 +134,7 @@ func main() {
 	for _, name := range names {
 		fn := runners[name]
 		if err := g.Add(name, func() (any, error) { return fn() }); err != nil {
-			fmt.Fprintf(os.Stderr, "repro: %v\n", err)
-			os.Exit(1)
+			fail(1, "repro: %v\n", err)
 		}
 	}
 	runErr := g.Run()
@@ -133,8 +144,7 @@ func main() {
 		for i, name := range names {
 			v, err := g.Result(name)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "repro: %s: %v\n", name, err)
-				os.Exit(1)
+				fail(1, "repro: %s: %v\n", name, err)
 			}
 			s, ok := v.(string)
 			if !ok { // graph-validation failure: nothing ran
@@ -171,8 +181,7 @@ func main() {
 	for _, name := range names {
 		v, err := g.Result(name)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "repro: %s: %v\n", name, err)
-			os.Exit(1)
+			fail(1, "repro: %s: %v\n", name, err)
 		}
 		s, ok := v.(string)
 		if !ok { // graph-validation failure: nothing ran
@@ -195,11 +204,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "repro: store %d warm / %d cold (mem %d, disk %d, evictions %d)\n",
 			s.Warm(), s.Misses, s.MemHits, s.DiskHits, s.Evictions)
 	}
+	stopProfiles()
 }
 
 func failIf(err error) {
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "repro: %v\n", err)
-		os.Exit(1)
+		fail(1, "repro: %v\n", err)
 	}
+}
+
+// fail flushes any active profiles before exiting, so -cpuprofile output
+// is valid even on usage and runtime errors.
+func fail(code int, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format, args...)
+	stopProfiles()
+	os.Exit(code)
 }

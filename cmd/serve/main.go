@@ -6,7 +6,10 @@
 //
 // Usage:
 //
-//	serve [-addr :8080] [-cache-dir DIR] [-j N]
+//	serve [-addr :8080] [-cache-dir DIR] [-j N] [-cpuprofile FILE] [-memprofile FILE]
+//
+// With -cpuprofile/-memprofile, runtime/pprof profiles cover the serving
+// window and are written on graceful shutdown (SIGINT/SIGTERM).
 //
 // Endpoints:
 //
@@ -22,14 +25,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"incore/internal/pipeline"
+	"incore/internal/profiling"
 	"incore/internal/serve"
 )
 
@@ -37,12 +44,21 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	cacheDir := flag.String("cache-dir", "", "persistent result store directory (empty = process-local cache only)")
 	workers := flag.Int("j", 0, "pipeline workers for batch requests (0 = GOMAXPROCS)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the serving window to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on shutdown")
 	flag.Parse()
+
+	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+		os.Exit(1)
+	}
 
 	nw := pipeline.SetDefaultWorkers(*workers)
 	if *cacheDir != "" {
 		st, err := pipeline.AttachStore(*cacheDir)
 		if err != nil {
+			stopProfiles()
 			fmt.Fprintf(os.Stderr, "serve: %v\n", err)
 			os.Exit(1)
 		}
@@ -56,9 +72,28 @@ func main() {
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      60 * time.Second,
 	}
+	// Graceful shutdown on SIGINT/SIGTERM: drain in-flight requests,
+	// then flush any active pprof profiles.
+	idle := make(chan struct{})
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Printf("serve: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "serve: shutdown: %v\n", err)
+		}
+		close(idle)
+	}()
+
 	log.Printf("serve: listening on %s (pipeline j=%d)", *addr, nw)
 	if err := srv.ListenAndServe(); err != http.ErrServerClosed {
+		stopProfiles()
 		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
 		os.Exit(1)
 	}
+	<-idle
+	stopProfiles()
 }

@@ -159,14 +159,27 @@ func accumulatorKey(in *isa.Instruction, d isa.Dialect) (isa.RegKey, bool) {
 
 func (g *Graph) buildRegEdges(opt Options) {
 	n := len(g.Nodes)
-	// lastWriter[k] = index of the most recent writer of k in program
-	// order; simulate two consecutive iterations to find carried edges.
+	// lastWriter[id] = index of the most recent writer of the register
+	// with that interned ID in program order; simulate two consecutive
+	// iterations to find carried edges. The interner is shared with the
+	// simulator's compile step (isa.RegInterner): both lower RegKey maps
+	// to dense-ID slices, so per-register tracking is slice indexing.
 	type access struct {
 		idx  int
 		iter int
 	}
-	lastWriter := map[isa.RegKey]access{}
-	lastReaders := map[isa.RegKey][]access{}
+	var interner isa.RegInterner
+	readIDs := make([][]int32, n)
+	writeIDs := make([][]int32, n)
+	for i := range g.Nodes {
+		readIDs[i] = interner.InternAll(nil, g.Nodes[i].Eff.Reads)
+		writeIDs[i] = interner.InternAll(nil, g.Nodes[i].Eff.Writes)
+	}
+	lastWriter := make([]access, interner.Len())
+	for i := range lastWriter {
+		lastWriter[i] = access{idx: -1}
+	}
+	lastReaders := make([][]access, interner.Len())
 
 	addRAW := func(from access, to access, key isa.RegKey) {
 		if from.iter == 1 && to.iter == 1 {
@@ -193,23 +206,25 @@ func (g *Graph) buildRegEdges(opt Options) {
 		for i := 0; i < n; i++ {
 			node := &g.Nodes[i]
 			cur := access{idx: i, iter: iter}
-			for _, r := range node.Eff.Reads {
-				if w, ok := lastWriter[r]; ok {
+			for ri, r := range node.Eff.Reads {
+				id := readIDs[i][ri]
+				if w := lastWriter[id]; w.idx >= 0 {
 					if !(w.iter == iter && w.idx == i) {
 						addRAW(w, cur, r)
 					}
 				}
-				lastReaders[r] = append(lastReaders[r], cur)
+				lastReaders[id] = append(lastReaders[id], cur)
 			}
-			for _, w := range node.Eff.Writes {
+			for wi, w := range node.Eff.Writes {
+				id := writeIDs[i][wi]
 				if opt.IncludeFalseDeps {
-					if pw, ok := lastWriter[w]; ok && !(pw.iter == 1 && iter == 1) && pw.iter <= iter {
+					if pw := lastWriter[id]; pw.idx >= 0 && !(pw.iter == 1 && iter == 1) && pw.iter <= iter {
 						g.Edges = append(g.Edges, Edge{
 							From: pw.idx, To: i, Kind: EdgeWAW,
 							Carried: pw.iter != iter, Lat: 1, Reg: w,
 						})
 					}
-					for _, rd := range lastReaders[w] {
+					for _, rd := range lastReaders[id] {
 						if rd.idx == i && rd.iter == iter {
 							continue
 						}
@@ -224,8 +239,8 @@ func (g *Graph) buildRegEdges(opt Options) {
 						}
 					}
 				}
-				lastWriter[w] = access{idx: i, iter: iter}
-				lastReaders[w] = nil
+				lastWriter[id] = access{idx: i, iter: iter}
+				lastReaders[id] = lastReaders[id][:0]
 			}
 		}
 	}

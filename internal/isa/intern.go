@@ -1,0 +1,54 @@
+package isa
+
+// RegInterner assigns dense small-integer IDs to RegKeys so hot loops can
+// replace map[RegKey] lookups with slice indexing. A block touches a few
+// dozen architectural storage locations at most, so consumers (the
+// simulator's compiled programs, depgraph construction) size per-register
+// state as flat slices of Len() entries.
+//
+// The zero value is ready to use. IDs are assigned in first-Intern order
+// starting at 0, so two interners fed the same key sequence agree — which
+// keeps anything derived from IDs deterministic.
+type RegInterner struct {
+	ids  map[RegKey]int32
+	keys []RegKey
+}
+
+// Intern returns the dense ID for k, assigning the next free one on first
+// sight.
+func (ri *RegInterner) Intern(k RegKey) int32 {
+	if id, ok := ri.ids[k]; ok {
+		return id
+	}
+	if ri.ids == nil {
+		ri.ids = make(map[RegKey]int32, 16)
+	}
+	id := int32(len(ri.keys))
+	ri.ids[k] = id
+	ri.keys = append(ri.keys, k)
+	return id
+}
+
+// Lookup returns the ID previously assigned to k, or (-1, false).
+func (ri *RegInterner) Lookup(k RegKey) (int32, bool) {
+	id, ok := ri.ids[k]
+	if !ok {
+		return -1, false
+	}
+	return id, true
+}
+
+// Key returns the RegKey behind a dense ID.
+func (ri *RegInterner) Key(id int32) RegKey { return ri.keys[id] }
+
+// Len returns the number of interned registers (IDs are 0..Len()-1).
+func (ri *RegInterner) Len() int { return len(ri.keys) }
+
+// InternAll interns every key in ks and returns their IDs appended to dst
+// (avoiding an allocation when dst has capacity).
+func (ri *RegInterner) InternAll(dst []int32, ks []RegKey) []int32 {
+	for _, k := range ks {
+		dst = append(dst, ri.Intern(k))
+	}
+	return dst
+}

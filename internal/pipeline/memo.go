@@ -36,7 +36,9 @@ func BlockKey(b *isa.Block) string {
 }
 
 // simConfigKey folds every outcome-affecting Config field into the key.
-// Trace is deliberately excluded — traced runs bypass the cache entirely.
+// Trace is deliberately excluded — traced runs bypass the cache entirely —
+// and so is DisableSteadyState: extrapolated and full-length runs are
+// bit-identical by contract (sim/steady.go), so both may share entries.
 func simConfigKey(cfg sim.Config) string {
 	return fmt.Sprintf("%d|%d|%d|%d|%g|%t|%d",
 		cfg.WarmupIters, cfg.MeasureIters, cfg.FMAAccForwardLat,

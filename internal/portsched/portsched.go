@@ -25,6 +25,38 @@ func (p *Port) Reset() { p.busy = p.busy[:0] }
 // BusySpans returns the number of busy intervals (for tests).
 func (p *Port) BusySpans() int { return len(p.busy) }
 
+// AppendTail appends the start and end times of every busy interval
+// ending after the given time to the two destination slices (schedule
+// order, i.e. ascending), with starts clamped up to the given time.
+// Consumers compare schedule tails across loop iterations to prove a
+// simulation periodic, and the clamp is what makes that comparison both
+// sound and able to converge: a saturated port's schedule merges into one
+// interval whose start recedes into the transient, but for any µ-op whose
+// earliest issue time lies beyond `after`, everything at or before that
+// point is unusable — only the interval's end constrains it. (Intervals
+// after the first necessarily start beyond `after`, since the list is
+// sorted and non-overlapping, so the clamp can only touch the first.)
+func (p *Port) AppendTail(starts, ends []float64, after float64) ([]float64, []float64) {
+	lo, hi := 0, len(p.busy)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if p.busy[mid].End > after {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	for _, iv := range p.busy[lo:] {
+		s := iv.Start
+		if s < after {
+			s = after
+		}
+		starts = append(starts, s)
+		ends = append(ends, iv.End)
+	}
+	return starts, ends
+}
+
 // EarliestSlot returns the earliest start time t >= earliest at which a
 // µ-op of duration dur fits, along with the insertion position.
 func (p *Port) EarliestSlot(earliest, dur float64) (float64, int) {
@@ -94,6 +126,21 @@ type Group struct {
 // NewGroup returns a group of n idle ports.
 func NewGroup(n int) *Group {
 	return &Group{Ports: make([]Port, n)}
+}
+
+// ResetTo clears the group and resizes it to n ports, reusing each
+// retained port's interval capacity so pooled simulator states do not
+// reallocate schedules between runs.
+func (g *Group) ResetTo(n int) {
+	if cap(g.Ports) < n {
+		grown := make([]Port, n)
+		copy(grown, g.Ports)
+		g.Ports = grown
+	}
+	g.Ports = g.Ports[:n]
+	for i := range g.Ports {
+		g.Ports[i].Reset()
+	}
 }
 
 // ScheduleBest books the port (among candidates) with the earliest

@@ -160,3 +160,51 @@ func TestQuickTotalOccupancy(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestGroupResetTo(t *testing.T) {
+	g := NewGroup(2)
+	g.ScheduleOn(0, 0, 3)
+	g.ScheduleOn(1, 1, 2)
+	g.ResetTo(3)
+	if len(g.Ports) != 3 {
+		t.Fatalf("ResetTo(3) left %d ports", len(g.Ports))
+	}
+	for i := range g.Ports {
+		if g.Ports[i].BusySpans() != 0 {
+			t.Errorf("port %d not cleared", i)
+		}
+	}
+	// Shrinking reuses the prefix.
+	g.ScheduleOn(2, 0, 1)
+	g.ResetTo(1)
+	if len(g.Ports) != 1 || g.Ports[0].BusySpans() != 0 {
+		t.Error("ResetTo(1) did not clear/resize")
+	}
+}
+
+func TestPortAppendTail(t *testing.T) {
+	var p Port
+	p.Schedule(0, 2) // [0,2)
+	p.Schedule(4, 1) // [4,5)
+	p.Schedule(8, 2) // [8,10)
+	starts, ends := p.AppendTail(nil, nil, 4.5)
+	// [4,5) ends after 4.5 (start clamped to 4.5), [8,10) follows.
+	if len(starts) != 2 || len(ends) != 2 {
+		t.Fatalf("tail = %v/%v, want 2 intervals", starts, ends)
+	}
+	if starts[0] != 4.5 || ends[0] != 5 {
+		t.Errorf("first tail interval = [%v,%v), want clamped [4.5,5)", starts[0], ends[0])
+	}
+	if starts[1] != 8 || ends[1] != 10 {
+		t.Errorf("second tail interval = [%v,%v), want [8,10)", starts[1], ends[1])
+	}
+	// A cut beyond every interval yields nothing.
+	if s2, _ := p.AppendTail(nil, nil, 10); len(s2) != 0 {
+		t.Errorf("tail past end = %v, want empty", s2)
+	}
+	// Appends to the destination without clobbering.
+	s3, e3 := p.AppendTail(starts, ends, 9)
+	if len(s3) != 3 || len(e3) != 3 || s3[2] != 9 || e3[2] != 10 {
+		t.Errorf("append-to-dst tail = %v/%v", s3, e3)
+	}
+}

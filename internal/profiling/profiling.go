@@ -1,0 +1,62 @@
+// Package profiling wires the -cpuprofile/-memprofile flags of the
+// command-line tools (cmd/repro, cmd/serve) to runtime/pprof, so perf
+// work on the analysis pipeline can show where cycles and allocations go:
+//
+//	repro -exp fig3 -cpuprofile cpu.out -memprofile mem.out
+//	go tool pprof cpu.out
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling into cpuPath (when non-empty) and returns a
+// stop function that ends the CPU profile and writes an allocation (heap)
+// profile to memPath (when non-empty). The stop function is idempotent
+// and safe to call on error paths; profile-write failures are reported on
+// stderr rather than masking the command's own exit status.
+func Start(cpuPath, memPath string) (func(), error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		cpuFile = f
+	}
+	done := false
+	stop := func() {
+		if done {
+			return
+		}
+		done = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "profiling: close cpu profile: %v\n", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "profiling: %v\n", err)
+				return
+			}
+			runtime.GC() // materialize a settled heap picture
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "profiling: write heap profile: %v\n", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "profiling: close heap profile: %v\n", err)
+			}
+		}
+	}
+	return stop, nil
+}

@@ -1,0 +1,47 @@
+package sim
+
+import "strings"
+
+// FPClass is a coarse classification of FP operations for the forwarding
+// network model.
+type FPClass int
+
+// FP operation classes.
+const (
+	FPNone FPClass = iota
+	FPAdd
+	FPMul
+	FPFMA
+	FPDiv
+	FPOther
+)
+
+// ClassifyFP returns the FP class of a mnemonic.
+//
+// The clauses are ordered: FMA before add/mul (vfmadd contains "add"),
+// div before add (vdivpd would otherwise fall through), and the x86
+// scalar/packed "add*pd|sd" clause binds tighter than its "HasPrefix(add)"
+// spelling suggests — see TestClassifyFPTable, which pins the precedence.
+// Hot paths never call this per dynamic instruction: Compile evaluates it
+// once per static instruction and stores the class in the Program.
+func ClassifyFP(mn string) FPClass {
+	switch {
+	case strings.HasPrefix(mn, "vfma") || strings.HasPrefix(mn, "vfnma") ||
+		strings.HasPrefix(mn, "vfms") || mn == "fmla" || mn == "fmls" ||
+		mn == "fmadd" || mn == "fmsub" || mn == "fnmadd" || mn == "fnmsub" ||
+		mn == "fadda":
+		return FPFMA
+	case strings.Contains(mn, "div"):
+		return FPDiv
+	case strings.HasPrefix(mn, "vadd") || strings.HasPrefix(mn, "vsub") ||
+		strings.HasPrefix(mn, "add") && strings.HasSuffix(mn, "d") && (strings.Contains(mn, "pd") || strings.Contains(mn, "sd")) ||
+		mn == "fadd" || mn == "fsub" || mn == "faddp":
+		return FPAdd
+	case strings.HasPrefix(mn, "vmul") || mn == "fmul" ||
+		(strings.HasPrefix(mn, "mul") && (strings.Contains(mn, "pd") || strings.Contains(mn, "sd"))):
+		return FPMul
+	case strings.Contains(mn, "sqrt"):
+		return FPDiv
+	}
+	return FPNone
+}

@@ -1,0 +1,110 @@
+package sim
+
+import "testing"
+
+// TestClassifyFPTable pins the current classification of every mnemonic
+// family the models and kernels emit, including the clause-precedence
+// cases: FMA wins over add/mul spellings, div wins over the x86
+// "add*pd/sd" clause, and the x86 scalar/packed suffix rules only fire
+// for pd/sd forms. ClassifyFP now runs once per static instruction at
+// compile time, so a silent reordering of its clauses would otherwise
+// only surface as a timing drift deep inside the forwarding model.
+func TestClassifyFPTable(t *testing.T) {
+	cases := []struct {
+		mn   string
+		want FPClass
+	}{
+		// FMA family, both dialects; vfm* prefixes contain "add"/"sub"
+		// but must classify as FMA (clause order).
+		{"vfmadd231pd", FPFMA},
+		{"vfmadd213sd", FPFMA},
+		{"vfmsub132pd", FPFMA},
+		{"vfnmadd231pd", FPFMA},
+		{"fmla", FPFMA},
+		{"fmls", FPFMA},
+		{"fmadd", FPFMA},
+		{"fmsub", FPFMA},
+		{"fnmadd", FPFMA},
+		{"fnmsub", FPFMA},
+		{"fadda", FPFMA}, // SVE ordered reduction: FMA class, not add
+
+		// Divides and square roots, before any add/mul spelling applies.
+		{"vdivpd", FPDiv},
+		{"vdivsd", FPDiv},
+		{"divpd", FPDiv},
+		{"fdiv", FPDiv},
+		{"fdivr", FPDiv},
+		{"vsqrtpd", FPDiv},
+		{"fsqrt", FPDiv},
+
+		// x86 adds: the multi-clause precedence cases. "add*" only
+		// classifies FP-add for packed/scalar-double forms ending in d.
+		{"vaddpd", FPAdd},
+		{"vaddsd", FPAdd},
+		{"vsubpd", FPAdd},
+		{"addpd", FPAdd},
+		{"addsd", FPAdd},
+		{"addsubpd", FPAdd}, // prefix add + pd + trailing d
+		{"addps", FPNone},   // single precision: no trailing d
+		{"addss", FPNone},
+		{"add", FPNone},  // integer add
+		{"addq", FPNone}, // integer add, q suffix
+		{"paddd", FPNone},
+
+		// AArch64 adds.
+		{"fadd", FPAdd},
+		{"fsub", FPAdd},
+		{"faddp", FPAdd},
+
+		// Multiplies.
+		{"vmulpd", FPMul},
+		{"vmulsd", FPMul},
+		{"mulpd", FPMul},
+		{"mulsd", FPMul},
+		{"fmul", FPMul},
+		{"mulq", FPNone}, // integer: no pd/sd
+		{"imulq", FPNone},
+
+		// Non-FP traffic.
+		{"movq", FPNone},
+		{"vmovupd", FPNone},
+		{"ldr", FPNone},
+		{"str", FPNone},
+		{"cmpq", FPNone},
+		{"jne", FPNone},
+		{"subs", FPNone},
+	}
+	for _, c := range cases {
+		if got := ClassifyFP(c.mn); got != c.want {
+			t.Errorf("ClassifyFP(%q) = %v, want %v", c.mn, got, c.want)
+		}
+	}
+}
+
+// TestCompileCachesClassification asserts the compiled program carries the
+// classification (the engine never re-derives it per dynamic instruction).
+func TestCompileCachesClassification(t *testing.T) {
+	blk := mustParse(t, "goldencove", `
+	vfmadd231pd %zmm1, %zmm2, %zmm3
+	vaddpd %zmm1, %zmm2, %zmm4
+	vdivsd %xmm1, %xmm2, %xmm5
+	decq %rcx
+	jne .L0
+`)
+	p, err := Compile(blk, mustModel(t, "goldencove"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []FPClass{FPFMA, FPAdd, FPDiv, FPNone, FPNone}
+	for i, cls := range want {
+		if p.instrs[i].fpClass != cls {
+			t.Errorf("instr %d compiled fpClass = %v, want %v", i, p.instrs[i].fpClass, cls)
+		}
+	}
+	if !p.instrs[0].isFMA || p.instrs[0].accID < 0 {
+		t.Error("FMA accumulator not compiled")
+	}
+	if !p.instrs[2].divScaled {
+		t.Error("scalar divide not marked for early-exit scaling")
+	}
+}

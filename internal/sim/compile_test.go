@@ -1,0 +1,170 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+
+	"incore/internal/isa"
+	"incore/internal/uarch"
+)
+
+func mustModel(t *testing.T, arch string) *uarch.Model {
+	t.Helper()
+	return uarch.MustGet(arch)
+}
+
+func mustParse(t *testing.T, arch, src string) *isa.Block {
+	t.Helper()
+	m := uarch.MustGet(arch)
+	b, err := isa.ParseBlock("t", arch, m.Dialect, src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return b
+}
+
+// TestCompileAddrIDsSortedUnique: the per-instruction address-register set
+// is a sorted, duplicate-free interned-ID slice (the former
+// map[isa.RegKey]bool), and data reads exclude exactly the address IDs.
+func TestCompileAddrIDsSortedUnique(t *testing.T) {
+	// Base and index both appear twice across the two memory operands;
+	// %rax additionally feeds a register read (incq).
+	blk := mustParse(t, "goldencove", `
+	vmovsd (%rsi,%rax,8), %xmm1
+	vaddsd 8(%rsi,%rax,8), %xmm1, %xmm1
+	vmovsd %xmm1, (%rdi,%rax,8)
+	incq %rax
+	cmpq %rbx, %rax
+	jne .L0
+`)
+	p, err := Compile(blk, mustModel(t, "goldencove"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p.instrs {
+		ids := p.instrs[i].addrIDs
+		if !sort.SliceIsSorted(ids, func(a, b int) bool { return ids[a] < ids[b] }) {
+			t.Errorf("instr %d addrIDs not sorted: %v", i, ids)
+		}
+		seen := map[int32]bool{}
+		for _, id := range ids {
+			if seen[id] {
+				t.Errorf("instr %d addrIDs has duplicate %d", i, id)
+			}
+			seen[id] = true
+		}
+		for _, id := range p.instrs[i].dataIDs {
+			if seen[id] {
+				t.Errorf("instr %d: id %d in both addrIDs and dataIDs", i, id)
+			}
+		}
+	}
+	// The folded-load add reads base+index for its address and xmm1 for
+	// data.
+	if got := len(p.instrs[1].addrIDs); got != 2 {
+		t.Errorf("folded load addr regs = %d, want 2 (base+index)", got)
+	}
+}
+
+// TestAddressReadinessUnchanged pins that the slice representation kept
+// the address-readiness semantics: a load's issue time tracks its address
+// producer, and the folded-load accumulation chain is still only gated by
+// the add latency (the behavioral contract behind markAddr's old map).
+func TestAddressReadinessUnchanged(t *testing.T) {
+	m := mustModel(t, "goldencove")
+	// s += a[i]: the carried chain is the 2-cycle add, not load+add;
+	// if address registers leaked into the data set the chain would be
+	// load latency bound (~7+ cy/iter).
+	r, err := Run(mustParse(t, "goldencove", `
+	vaddsd (%rsi,%rax,8), %xmm0, %xmm0
+	incq %rax
+	cmpq %rbx, %rax
+	jne .L0
+`), m, DefaultConfig(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CyclesPerIter < 1.7 || r.CyclesPerIter > 2.3 {
+		t.Errorf("folded-load sum = %f cy/iter, want ~2 (add-latency bound)", r.CyclesPerIter)
+	}
+	// Pointer-chase shape: the load's address register is produced by a
+	// long-latency op; the load must wait for it (address registers must
+	// not be dropped either).
+	r2, err := Run(mustParse(t, "goldencove", `
+	imulq $3, %rax, %rax
+	vmovsd (%rsi,%rax,8), %xmm1
+	decq %rcx
+	jne .L0
+`), m, DefaultConfig(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.CyclesPerIter < 2.7 {
+		t.Errorf("address-dependent load chain = %f cy/iter, want >= imul latency (3)", r2.CyclesPerIter)
+	}
+}
+
+// TestGatherIndexStaysDataDependency: vector (gather) indices carry data
+// dependencies, not address dependencies — compile must keep them out of
+// addrIDs, exactly like the old markAddr.
+func TestGatherIndexStaysDataDependency(t *testing.T) {
+	blk := mustParse(t, "goldencove", `
+	vgatherqpd (%rsi,%zmm2,8), %zmm1
+	decq %rcx
+	jne .L0
+`)
+	p, err := Compile(blk, mustModel(t, "goldencove"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := &p.instrs[0]
+	if len(g.addrIDs) != 1 {
+		t.Fatalf("gather addrIDs = %d entries, want 1 (base only)", len(g.addrIDs))
+	}
+	// The vector index must appear among data reads.
+	var vecID int32 = -1
+	for _, id := range g.readIDs {
+		if !containsID(g.addrIDs, id) && containsID(g.dataIDs, id) {
+			vecID = id
+		}
+	}
+	if vecID < 0 {
+		t.Error("gather vector index not tracked as a data dependency")
+	}
+}
+
+// TestCompileSlotAccounting pins the dispatch-slot bookkeeping the
+// steady-state detector's ring arithmetic depends on.
+func TestCompileSlotAccounting(t *testing.T) {
+	blk := mustParse(t, "goldencove", `
+	vmovupd (%rsi,%rax,8), %zmm0
+	vfmadd231pd (%rdx,%rax,8), %zmm15, %zmm0
+	vmovupd %zmm0, (%rdi,%rax,8)
+	addq $8, %rax
+	cmpq %rbx, %rax
+	jne .L0
+`)
+	p, err := Compile(blk, mustModel(t, "goldencove"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	slots := 0
+	scheduled := 0
+	for i := range p.instrs {
+		slots += int(p.instrs[i].nSlots)
+	}
+	for i := range p.uops {
+		if len(p.uops[i].cand) > 0 {
+			scheduled++
+		}
+	}
+	if slots != p.slotsPerIter {
+		t.Errorf("slotsPerIter = %d, sum of nSlots = %d", p.slotsPerIter, slots)
+	}
+	if scheduled > p.slotsPerIter {
+		t.Errorf("scheduled µ-ops %d > slotsPerIter %d", scheduled, p.slotsPerIter)
+	}
+	if p.maxUopSlots <= 0 {
+		t.Error("maxUopSlots not computed")
+	}
+}

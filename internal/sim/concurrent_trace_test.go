@@ -1,0 +1,41 @@
+package sim_test
+
+import (
+	"sync"
+	"testing"
+
+	"incore/internal/isa"
+	"incore/internal/sim"
+	"incore/internal/uarch"
+)
+
+// Two concurrent traced runs over one compiled Program: the lazy trace
+// name cache must be race-free (Program documents concurrent-Run safety).
+func TestConcurrentTracedRuns(t *testing.T) {
+	m := uarch.MustGet("zen4")
+	b, err := isa.ParseBlock("t", "zen4", m.Dialect, "\tvaddpd %ymm1, %ymm2, %ymm3\n\tjne .L0\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := sim.Compile(b, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cfg := sim.DefaultConfig(m)
+			cfg.Trace = func(dyn int, instr string, f, d, s, r, ret float64) {
+				if instr == "" {
+					t.Error("empty trace name")
+				}
+			}
+			if _, err := p.Run(cfg); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -30,53 +30,29 @@
 // resource and dataflow constraints. Within the scheduler window work is
 // scheduled greedily in program order, which is equivalent to an
 // oldest-first picker.
+//
+// # Execution strategy
+//
+// Run executes in two phases. Compile lowers the block into a Program:
+// interned dense register IDs, resolved port-candidate slices, cached
+// mnemonic classifications, per-load memory-dependency lists. The engine
+// then advances dynamic instructions over ring buffers sized to the live
+// microarchitectural window — max(ROB, scheduler, decode group, two block
+// iterations) — instead of O(iterations) arrays, with all scratch state
+// pooled across runs, so the per-run footprint is O(window) and the
+// steady-state hot path allocates nothing. Once the timing deltas of
+// consecutive iterations become exactly periodic (checked over the whole
+// live window, µ-op slots and port schedules included), the engine stops
+// simulating and extrapolates the remaining iterations — bit-exactly; see
+// steady.go for why the extrapolation is exact, not approximate.
 package sim
 
 import (
 	"fmt"
-	"strings"
 
 	"incore/internal/isa"
-	"incore/internal/portsched"
 	"incore/internal/uarch"
 )
-
-// FPClass is a coarse classification of FP operations for the forwarding
-// network model.
-type FPClass int
-
-// FP operation classes.
-const (
-	FPNone FPClass = iota
-	FPAdd
-	FPMul
-	FPFMA
-	FPDiv
-	FPOther
-)
-
-// ClassifyFP returns the FP class of a mnemonic.
-func ClassifyFP(mn string) FPClass {
-	switch {
-	case strings.HasPrefix(mn, "vfma") || strings.HasPrefix(mn, "vfnma") ||
-		strings.HasPrefix(mn, "vfms") || mn == "fmla" || mn == "fmls" ||
-		mn == "fmadd" || mn == "fmsub" || mn == "fnmadd" || mn == "fnmsub" ||
-		mn == "fadda":
-		return FPFMA
-	case strings.Contains(mn, "div"):
-		return FPDiv
-	case strings.HasPrefix(mn, "vadd") || strings.HasPrefix(mn, "vsub") ||
-		strings.HasPrefix(mn, "add") && strings.HasSuffix(mn, "d") && (strings.Contains(mn, "pd") || strings.Contains(mn, "sd")) ||
-		mn == "fadd" || mn == "fsub" || mn == "faddp":
-		return FPAdd
-	case strings.HasPrefix(mn, "vmul") || mn == "fmul" ||
-		(strings.HasPrefix(mn, "mul") && (strings.Contains(mn, "pd") || strings.Contains(mn, "sd"))):
-		return FPMul
-	case strings.Contains(mn, "sqrt"):
-		return FPDiv
-	}
-	return FPNone
-}
 
 // Config controls one simulation run.
 type Config struct {
@@ -101,11 +77,19 @@ type Config struct {
 	// #2). Real Grace/SPR/Genoa cores all rename.
 	DisableRenaming bool
 	// Trace, when non-nil, receives per-dynamic-instruction timestamps
-	// (debugging aid).
+	// (debugging aid). Traced runs always simulate full length.
 	Trace func(dyn int, instr string, fetch, dispatch, start, ready, retire float64)
 	// IssueWidthOverride, when positive, replaces the model's issue
 	// width (ablation; DESIGN.md #5).
 	IssueWidthOverride int
+
+	// DisableSteadyState forces a full-length simulation even when the
+	// run reaches an exactly periodic steady state. Results are
+	// bit-identical either way — extrapolation only engages when it is
+	// provably exact — so this field, like Trace, is outcome-neutral
+	// and excluded from pipeline memo keys; it exists for tests and
+	// debugging.
+	DisableSteadyState bool
 }
 
 // DefaultConfig returns the per-microarchitecture hardware quirks used for
@@ -138,6 +122,12 @@ type Result struct {
 	// PortCycles is the per-port busy time accumulated over the measured
 	// window (aligned with Model.Ports).
 	PortCycles []float64
+
+	// SteadyStateIter is the iteration at which the engine proved the
+	// run periodic and stopped simulating (0: ran full length). Pure
+	// telemetry — the timing fields are bit-identical either way — and
+	// deliberately excluded from the persisted wire form.
+	SteadyStateIter int `json:"-"`
 }
 
 // PortUtilization returns per-port busy fractions over the measured window.
@@ -152,500 +142,52 @@ func (r *Result) PortUtilization() []float64 {
 	return out
 }
 
-// staticInstr caches per-block-instruction scheduling info.
-type staticInstr struct {
-	desc  uarch.Desc
-	eff   isa.Effects
-	isFMA bool
-	// accKey is the FMA accumulator register.
-	accKey isa.RegKey
-	// fpClass drives the forwarding-network model.
-	fpClass FPClass
-	isDiv   bool
-	isVecOp bool
-	// addrKeys are registers used only for address generation.
-	addrKeys map[isa.RegKey]bool
-	// dataReads are register reads excluding pure address registers.
-	dataReads []isa.RegKey
-	// hasLoadStage marks x86 folded loads (separate load timing stage).
-	hasLoadStage bool
-}
-
-// memDep is a static store→load dependency within/across iterations.
-type memDep struct {
-	store, load int
-	carried     bool
-}
-
 // Run simulates cfg.WarmupIters+cfg.MeasureIters iterations of block b on
-// model m and returns steady-state timing.
+// model m and returns steady-state timing. It is Compile followed by
+// Program.Run; callers simulating one block under several configurations
+// can compile once and reuse the program.
 func Run(b *isa.Block, m *uarch.Model, cfg Config) (*Result, error) {
-	if err := b.Validate(); err != nil {
+	p, err := Compile(b, m)
+	if err != nil {
 		return nil, err
 	}
+	return p.Run(cfg)
+}
+
+// Store→load forwarding: the forwarded load may *issue* fwdIssueDelay
+// cycles after the store's data µ-op issues; its result arrives a
+// load latency later, so the total store-to-result delay is
+// fwdIssueDelay + LoadLat. The analyzer charges the same total on
+// its memory-carried edges.
+const fwdIssueDelay = 2.0
+
+// Run executes the compiled program under cfg.
+func (p *Program) Run(cfg Config) (*Result, error) {
 	if cfg.WarmupIters <= 0 {
 		cfg.WarmupIters = 64
 	}
 	if cfg.MeasureIters <= 0 {
 		cfg.MeasureIters = 256
 	}
-	static, err := prepare(b, m)
-	if err != nil {
-		return nil, err
-	}
-	memDeps := FindMemDeps(blockEffects(static))
-
-	issueWidth := m.IssueWidth
+	issueWidth := p.model.IssueWidth
 	if cfg.IssueWidthOverride > 0 {
 		issueWidth = cfg.IssueWidthOverride
 	}
 
-	nStatic := len(static)
-	iters := cfg.WarmupIters + cfg.MeasureIters
-	nDyn := nStatic * iters
+	st := statePool.Get().(*simState)
+	defer statePool.Put(st)
+	st.reset(p, &cfg, issueWidth)
 
-	fetch := make([]float64, nDyn)
-	ready := make([]float64, nDyn)   // result available to consumers
-	started := make([]float64, nDyn) // compute-stage issue time
-	retire := make([]float64, nDyn)
-
-	producer := map[isa.RegKey]int{}
-	lastReader := map[isa.RegKey]int{}
-	lastStoreDyn := make(map[int]int, nStatic)
-	prevStoreDyn := make(map[int]int, nStatic)
-
-	ports := portsched.NewGroup(len(m.Ports))
-	portBusy := make([]float64, len(m.Ports))
-	var measureStartCycle float64
-	measureStartSet := false
-
-	uopDispatch := make([]float64, 0, nDyn*2)
-	uopIssued := make([]float64, 0, nDyn*2)
-
-	// Store→load forwarding: the forwarded load may *issue* fwdIssueDelay
-	// cycles after the store's data µ-op issues; its result arrives a
-	// load latency later, so the total store-to-result delay is
-	// fwdIssueDelay + LoadLat. The analyzer charges the same total on
-	// its memory-carried edges.
-	const fwdIssueDelay = 2.0
-
-	// readyFor returns when producer p's result is usable by consumer st
-	// through register r, applying the forwarding-network model.
-	readyFor := func(p int, st *staticInstr, r isa.RegKey) float64 {
-		t := ready[p]
-		ps := &static[p%nStatic]
-		if cfg.FMAAccForwardLat > 0 && st.isFMA && r == st.accKey && ps.isFMA {
-			if ft := started[p] + float64(cfg.FMAAccForwardLat); ft < t {
-				t = ft
-			}
-		}
-		if cfg.CrossOpForwardSave > 0 && ps.fpClass != FPNone && st.fpClass != FPNone &&
-			ps.fpClass != st.fpClass {
-			if ft := t - float64(cfg.CrossOpForwardSave); ft > started[p] {
-				t = ft
-			}
-		}
-		return t
+	r, err := st.run(p, &cfg, issueWidth)
+	if err != nil {
+		return nil, err
 	}
-
-	for dyn := 0; dyn < nDyn; dyn++ {
-		si := dyn % nStatic
-		iter := dyn / nStatic
-		st := &static[si]
-
-		// --- fetch/decode: DecodeWidth instructions per cycle; a taken
-		// branch terminates the fetch group, so the loop's first
-		// instruction always starts a fresh fetch cycle.
-		f := 0.0
-		if dyn >= m.DecodeWidth {
-			f = fetch[dyn-m.DecodeWidth] + 1
-		}
-		if dyn > 0 && fetch[dyn-1] > f {
-			f = fetch[dyn-1]
-		}
-		if dyn > 0 && static[(dyn-1)%nStatic].desc.IsBranch {
-			if t := fetch[dyn-1] + 1; t > f {
-				f = t
-			}
-		}
-		fetch[dyn] = f
-
-		// --- dispatch constraints: issue width, ROB, scheduler.
-		disp := f + 1
-		if dyn >= m.ROBSize {
-			if t := retire[dyn-m.ROBSize]; t > disp {
-				disp = t
-			}
-		}
-		// Issue width applies per µ-op slot: the group dispatches when the
-		// slot of its *last* µ-op frees up.
-		uopBase := len(uopDispatch)
-		nUops := len(st.desc.Uops)
-		if nUops == 0 {
-			nUops = 1
-		}
-		if lastSlot := uopBase + nUops - 1; lastSlot >= issueWidth {
-			ref := lastSlot - issueWidth
-			if ref < uopBase { // previous instructions' slots only
-				if t := uopDispatch[ref] + 1; t > disp {
-					disp = t
-				}
-			}
-		}
-		if uopBase >= m.SchedSize {
-			if t := uopIssued[uopBase-m.SchedSize]; t > disp {
-				disp = t
-			}
-		}
-
-		// --- address-stage readiness.
-		addrReady := disp
-		for k := range st.addrKeys {
-			if p, ok := producer[k]; ok {
-				if t := ready[p]; t > addrReady {
-					addrReady = t
-				}
-			}
-		}
-		// Memory dependencies: loads wait for forwarded stores.
-		loadDepReady := addrReady
-		if st.desc.IsLoad {
-			for _, md := range memDeps {
-				if md.load != si {
-					continue
-				}
-				var sd int
-				var ok bool
-				switch {
-				case md.carried && md.store > md.load:
-					// Store later in program order (e.g. Gauss-Seidel:
-					// store phi[i], reload phi[i-1] next iteration): the
-					// most recent completed store is last iteration's.
-					sd, ok = lastStoreDyn[md.store]
-				case md.carried:
-					// Store earlier in program order: this iteration's
-					// store already ran; the dependency is on the
-					// previous iteration's.
-					sd, ok = prevStoreDyn[md.store]
-				default:
-					sd, ok = lastStoreDyn[md.store]
-					ok = ok && sd/nStatic == iter && md.store < si
-				}
-				if ok {
-					if t := started[sd] + fwdIssueDelay; t > loadDepReady {
-						loadDepReady = t
-					}
-				}
-			}
-		}
-
-		// --- data-stage readiness.
-		dataReady := disp
-		for _, r := range st.dataReads {
-			if p, ok := producer[r]; ok {
-				if t := readyFor(p, st, r); t > dataReady {
-					dataReady = t
-				}
-			}
-		}
-		if cfg.DisableRenaming {
-			for _, w := range st.eff.Writes {
-				if p, ok := producer[w]; ok && ready[p] > dataReady {
-					dataReady = ready[p]
-				}
-				if p, ok := lastReader[w]; ok && started[p] > dataReady {
-					dataReady = started[p]
-				}
-			}
-		}
-
-		// --- issue µ-ops: earliest free gap on the best candidate port
-		// (equivalent to an oldest-first picker; see portsched).
-		issueUop := func(u uarch.Uop, earliest float64) float64 {
-			occ := u.Cycles
-			if st.isDiv && !st.isVecOp && cfg.DivEarlyExitFactor > 0 && cfg.DivEarlyExitFactor < 1 {
-				occ *= cfg.DivEarlyExitFactor
-			}
-			cand := u.Ports.Indices()
-			if len(cand) == 0 {
-				return earliest
-			}
-			bestPort, bestTime := ports.ScheduleBest(cand, earliest, occ)
-			if iter >= cfg.WarmupIters {
-				portBusy[bestPort] += occ
-			}
-			uopDispatch = append(uopDispatch, disp)
-			uopIssued = append(uopIssued, bestTime)
-			return bestTime
-		}
-
-		loadDone := 0.0
-		haveLoads := false
-		computeStart := dataReady
-		for _, u := range st.desc.Uops {
-			switch u.Kind {
-			case uarch.UopLoad:
-				t := issueUop(u, loadDepReady)
-				haveLoads = true
-				var done float64
-				if st.hasLoadStage {
-					done = t + float64(st.desc.LoadLat)
-				} else {
-					// AArch64 loads: entry latency is inclusive.
-					done = t
-				}
-				if done > loadDone {
-					loadDone = done
-				}
-				if !st.hasLoadStage && t > computeStart {
-					computeStart = t
-				}
-			default:
-				// Scheduled below after load stage is known.
-			}
-		}
-		if haveLoads && st.hasLoadStage && loadDone > computeStart {
-			computeStart = loadDone
-		}
-		lastComputeIssue := computeStart
-		nCompute := 0
-		for _, u := range st.desc.Uops {
-			if u.Kind == uarch.UopLoad {
-				continue
-			}
-			earliest := computeStart
-			if u.Kind == uarch.UopStoreAddr {
-				earliest = addrReady
-			}
-			t := issueUop(u, earliest)
-			if t > lastComputeIssue {
-				lastComputeIssue = t
-			}
-			nCompute++
-		}
-		if len(st.desc.Uops) == 0 {
-			uopDispatch = append(uopDispatch, disp)
-			uopIssued = append(uopIssued, disp)
-		}
-
-		// --- result timing.
-		var res float64
-		switch {
-		case nCompute > 0 && haveLoads && st.hasLoadStage:
-			res = lastComputeIssue + float64(st.desc.Lat)
-			if st.desc.Lat == 0 {
-				res = lastComputeIssue + 1
-			}
-		case haveLoads && nCompute == 0:
-			// Pure load.
-			if st.hasLoadStage {
-				res = loadDone
-			} else {
-				// AArch64 load: computeStart tracked the load issue time
-				// and the entry latency is load-to-use inclusive.
-				res = computeStart + float64(st.desc.TotalLat)
-			}
-		default:
-			res = lastComputeIssue + float64(st.desc.TotalLat)
-		}
-		started[dyn] = lastComputeIssue
-		ready[dyn] = res
-
-		// --- retire in order.
-		ret := res
-		if st.desc.IsStore || st.desc.IsBranch {
-			ret = lastComputeIssue + 1
-		}
-		if dyn > 0 && retire[dyn-1] > ret {
-			ret = retire[dyn-1]
-		}
-		if dyn >= m.RetireWidth {
-			if t := retire[dyn-m.RetireWidth] + 1; t > ret {
-				ret = t
-			}
-		}
-		retire[dyn] = ret
-
-		// --- architectural state updates.
-		for _, r := range st.eff.Reads {
-			lastReader[r] = dyn
-		}
-		for _, w := range st.eff.Writes {
-			producer[w] = dyn
-		}
-		if st.desc.IsStore {
-			if prev, ok := lastStoreDyn[si]; ok {
-				prevStoreDyn[si] = prev
-			}
-			lastStoreDyn[si] = dyn
-		}
-
-		if iter == cfg.WarmupIters && si == 0 {
-			// The window opens at the retirement of the last warmup
-			// instruction so that it spans exactly MeasureIters
-			// iterations of retired work.
-			if dyn > 0 {
-				measureStartCycle = retire[dyn-1]
-			}
-			measureStartSet = true
-		}
-		if cfg.Trace != nil {
-			cfg.Trace(dyn, b.Instrs[si].String(), fetch[dyn], disp, started[dyn], ready[dyn], retire[dyn])
-		}
-	}
-
-	if !measureStartSet {
-		return nil, fmt.Errorf("sim: block %s: no measurement window", b.Name)
-	}
-	total := retire[nDyn-1] - measureStartCycle
-	if total <= 0 {
-		total = 1
-	}
-	return &Result{
-		CyclesPerIter: total / float64(cfg.MeasureIters),
-		TotalCycles:   total,
-		Iters:         cfg.MeasureIters,
-		PortCycles:    portBusy,
-	}, nil
+	return r, nil
 }
 
-func prepare(b *isa.Block, m *uarch.Model) ([]staticInstr, error) {
-	static := make([]staticInstr, len(b.Instrs))
-	for i := range b.Instrs {
-		in := &b.Instrs[i]
-		d, err := m.Lookup(in)
-		if err != nil {
-			return nil, fmt.Errorf("sim: block %s instr %d (%s): %w", b.Name, i, in.Mnemonic, err)
-		}
-		s := staticInstr{desc: d, eff: isa.InstrEffects(in, m.Dialect)}
-		s.accKey, s.isFMA = fmaAccumulator(in, m.Dialect)
-		mn := in.Mnemonic
-		s.fpClass = ClassifyFP(mn)
-		s.isDiv = strings.Contains(mn, "div")
-		s.isVecOp = vecWidthOfInstr(in) > 64 && !strings.HasSuffix(mn, "sd")
-		s.hasLoadStage = d.LoadLat > 0
-		s.addrKeys = map[isa.RegKey]bool{}
-		for _, mo := range s.eff.LoadOps {
-			markAddr(s.addrKeys, mo)
-		}
-		for _, mo := range s.eff.StoreOps {
-			markAddr(s.addrKeys, mo)
-		}
-		for _, r := range s.eff.Reads {
-			if !s.addrKeys[r] {
-				s.dataReads = append(s.dataReads, r)
-			}
-		}
-		static[i] = s
-	}
-	return static, nil
-}
-
-func markAddr(m map[isa.RegKey]bool, mo *isa.MemOp) {
-	if mo.Base.Valid() && !isa.IsZeroReg(mo.Base) {
-		m[mo.Base.Key()] = true
-	}
-	// Vector indices (gathers) carry data dependencies, not plain
-	// address dependencies; keep them in the data set.
-	if mo.Index.Valid() && !isa.IsZeroReg(mo.Index) && mo.Index.Class != isa.ClassVec {
-		m[mo.Index.Key()] = true
-	}
-}
-
-func vecWidthOfInstr(in *isa.Instruction) int {
-	w := 0
-	for _, op := range in.Operands {
-		if op.Kind == isa.OpReg && op.Reg.Class == isa.ClassVec && op.Reg.Width > w {
-			w = op.Reg.Width
-		}
-	}
-	return w
-}
-
-// fmaAccumulator mirrors depgraph's accumulator detection (kept local to
-// avoid a dependency knot).
-func fmaAccumulator(in *isa.Instruction, d isa.Dialect) (isa.RegKey, bool) {
-	mn := in.Mnemonic
-	isFMA := strings.HasPrefix(mn, "vfma") || strings.HasPrefix(mn, "vfnma") ||
-		strings.HasPrefix(mn, "vfms") || mn == "fmla" || mn == "fmls" ||
-		mn == "fmadd" || mn == "fmsub" || mn == "fnmadd" || mn == "fnmsub"
-	if !isFMA || len(in.Operands) == 0 {
-		return isa.RegKey{}, false
-	}
-	if d == isa.DialectX86 {
-		op := in.Operands[len(in.Operands)-1]
-		if op.Kind == isa.OpReg {
-			return op.Reg.Key(), true
-		}
-		return isa.RegKey{}, false
-	}
-	if mn == "fmadd" || mn == "fmsub" || mn == "fnmadd" || mn == "fnmsub" {
-		if len(in.Operands) >= 4 && in.Operands[3].Kind == isa.OpReg {
-			return in.Operands[3].Reg.Key(), true
-		}
-		return isa.RegKey{}, false
-	}
-	if in.Operands[0].Kind == isa.OpReg {
-		return in.Operands[0].Reg.Key(), true
-	}
-	return isa.RegKey{}, false
-}
-
-// InstrEffectsView is the per-instruction effect summary used for memory
-// dependency detection.
-type InstrEffectsView struct {
-	LoadOps  []*isa.MemOp
-	StoreOps []*isa.MemOp
-}
-
-func blockEffects(static []staticInstr) []InstrEffectsView {
-	out := make([]InstrEffectsView, len(static))
-	for i := range static {
-		out[i] = InstrEffectsView{LoadOps: static[i].eff.LoadOps, StoreOps: static[i].eff.StoreOps}
-	}
-	return out
-}
-
-// FindMemDeps locates store→load RAW pairs over the same address stream.
-// Direction matters for a loop whose index advances monotonically: with
-// store displacement S and load displacement L off the same base/index
-// registers, the load re-reads a previously stored location only if
-// S - L > 0 (the store runs ahead of the load in address space). Equal
-// displacements alias within the same iteration when the store precedes
-// the load in program order.
-func FindMemDeps(effs []InstrEffectsView) []memDep {
-	var deps []memDep
-	const window = 64
-	for si := range effs {
-		for _, st := range effs[si].StoreOps {
-			for li := range effs {
-				for _, ld := range effs[li].LoadOps {
-					if !sameAddrStream(st, ld) {
-						continue
-					}
-					delta := st.Disp - ld.Disp
-					switch {
-					case delta == 0 && si < li:
-						deps = append(deps, memDep{store: si, load: li, carried: false})
-					case delta > 0 && delta <= window:
-						deps = append(deps, memDep{store: si, load: li, carried: true})
-					}
-				}
-			}
-		}
-	}
-	return deps
-}
-
-func sameAddrStream(a, b *isa.MemOp) bool {
-	if !a.Base.Valid() || !b.Base.Valid() || a.Base.Key() != b.Base.Key() {
-		return false
-	}
-	if a.Index.Valid() != b.Index.Valid() {
-		return false
-	}
-	if a.Index.Valid() && a.Index.Key() != b.Index.Key() {
-		return false
-	}
-	return true
+// errNoWindow mirrors the historical failure mode when no measurement
+// window opened (unreachable with the coerced iteration counts, kept for
+// API stability).
+func errNoWindow(b *isa.Block) error {
+	return fmt.Errorf("sim: block %s: no measurement window", b.Name)
 }

@@ -1,0 +1,258 @@
+package sim
+
+import "math"
+
+// debugSteady, when set by tests, receives periodicity-check rejection
+// diagnostics.
+var debugSteady func(format string, args ...any)
+
+// Steady-state convergence detection.
+//
+// The paper's observation — steady-state loop kernels converge after a
+// short transient — means most of a 320-iteration simulation re-derives
+// timings that repeat an earlier iteration shifted by a constant. The
+// engine exploits that: once the complete live state of the pipeline is
+// exactly periodic with period P iterations and shift D cycles, the
+// remaining iterations are determined and the run finishes analytically.
+//
+// Exactness, not approximation: detection only arms when every port-busy
+// charge is a dyadic rational with denominator ≤ 64 (integer latencies,
+// half/quarter-cycle shared µ-ops; the Zen 4 early-exit divider's 0.7×
+// occupancies fail this test and simply run full length). Every quantity
+// the engine computes is then a dyadic rational of bounded denominator and
+// magnitude far below 2^52, so every add/subtract/max in the engine is
+// exact — no rounding anywhere. Exact arithmetic is translation-invariant:
+// if the whole live window (instruction timestamps over
+// max(ROB, 2·block) slots, µ-op dispatch/issue slots over
+// max(scheduler, issue width), and each port's schedule tail) repeats with
+// shift D over confirmPeriods consecutive periods, it provably repeats
+// forever, and "simulate N more iterations" equals "add D, N/P times" bit
+// for bit. The golden and steady-state tests assert that equality against
+// full-length runs for every kernel × machine model.
+const (
+	// maxPeriod is the longest steady-state period considered, in
+	// iterations (covers fractional cycles-per-iteration down to 1/8).
+	maxPeriod = 8
+	// confirmPeriods is how many consecutive periods the live window
+	// must repeat exactly before the engine extrapolates.
+	confirmPeriods = 2
+
+	bRetireLen  = 2*maxPeriod + 1
+	tailRingLen = confirmPeriods*maxPeriod + 1
+)
+
+// tailSnap is a per-iteration-boundary snapshot of every port's schedule
+// tail (busy intervals that can still interact with future µ-ops).
+type tailSnap struct {
+	counts []int32 // intervals per port
+	starts []float64
+	ends   []float64
+}
+
+// occsDyadic reports whether every port-busy charge is a dyadic rational
+// with denominator ≤ 64 — the precondition for all engine arithmetic
+// being exact (see the package comment above).
+func occsDyadic(occs []float64) bool {
+	for _, o := range occs {
+		scaled := o * 64
+		if scaled != math.Trunc(scaled) || math.Abs(o) > 1<<20 {
+			return false
+		}
+	}
+	return true
+}
+
+// futureIssueFloor returns a lower bound on the earliest issue time of
+// every µ-op the engine has not yet scheduled: the minimum issue time of
+// the last SchedSize slots. Each future instruction dispatches no earlier
+// than the issue time of the µ-op SchedSize slots before it (the
+// scheduler-capacity constraint), which is either one of these recorded
+// slots or, inductively, a later µ-op's issue time bounded the same way;
+// and every µ-op issues at or after its dispatch. Being a min over values
+// the periodicity sweep checks, the floor shifts by exactly D per period.
+func (s *simState) futureIssueFloor() float64 {
+	n := s.schedSize
+	if n > s.uopCount {
+		n = s.uopCount
+	}
+	if n == 0 {
+		return 0
+	}
+	ref := s.uopIssued[(s.uopCount-1)&s.umask]
+	for d := s.uopCount - n; d < s.uopCount-1; d++ {
+		if v := s.uopIssued[d&s.umask]; v < ref {
+			ref = v
+		}
+	}
+	return ref
+}
+
+// snapshotTails records, at an iteration boundary, each port's busy
+// intervals that end after ref (the future-issue floor). No future µ-op
+// can issue, gap-fill, or merge below ref, so intervals ending at or
+// before it are dead — they can neither host nor constrain future work —
+// and the live tail is what must repeat for the schedule to be periodic.
+func (s *simState) snapshotTails(iter int, ref float64) {
+	sn := &s.tails[iter%tailRingLen]
+	sn.counts = sn.counts[:0]
+	sn.starts = sn.starts[:0]
+	sn.ends = sn.ends[:0]
+	for pi := range s.ports.Ports {
+		before := len(sn.starts)
+		sn.starts, sn.ends = s.ports.Ports[pi].AppendTail(sn.starts, sn.ends, ref)
+		sn.counts = append(sn.counts, int32(len(sn.starts)-before))
+	}
+}
+
+// tryDetect looks for the shortest period P whose live state repeats with
+// a constant shift. Cheap first: the boundary retire deltas must agree;
+// only then is the full window swept.
+func (s *simState) tryDetect(p *Program, iter, dyn int) (int, float64, bool) {
+	for P := 1; P <= maxPeriod; P++ {
+		if iter < 2*P+1 {
+			break // longer periods need even more history
+		}
+		shift := P * p.nStatic
+		// The sweep reads confirmPeriods windows plus one shift of
+		// history; require it all to exist (and skip iteration 0).
+		if dyn < s.liveInstr+(confirmPeriods+1)*shift+p.nStatic {
+			break
+		}
+		d := s.bRetire[iter%bRetireLen] - s.bRetire[(iter-P)%bRetireLen]
+		if d <= 0 {
+			continue
+		}
+		if s.bRetire[(iter-P)%bRetireLen]-s.bRetire[(iter-2*P)%bRetireLen] != d {
+			continue
+		}
+		if s.checkPeriodic(p, iter, dyn, P, d) {
+			return P, d, true
+		}
+	}
+	return 0, 0, false
+}
+
+// checkPeriodic verifies that the complete live state at this boundary is
+// a D-shifted copy of the state P iterations ago, over confirmPeriods
+// consecutive periods: all four timestamp rings across the live
+// instruction window, both µ-op slot rings across the live scheduler
+// window, and every port's schedule tail.
+func (s *simState) checkPeriodic(p *Program, iter, dyn, P int, D float64) bool {
+	shift := P * p.nStatic
+	imask := s.imask
+
+	// The frontend has no backpressure in this model, so on backend-bound
+	// blocks the fetch stream advances at its own (slower) constant rate.
+	// That divergence is inert: fetch enters the engine only through the
+	// dispatch max(), where a strictly fetch-bound instruction would make
+	// the dispatch slots below shift by Df instead of D and fail their
+	// check, while a tied or dominated fetch term keeps losing ground
+	// (Df ≤ D) and can never become binding. So fetch must be exactly
+	// periodic too, but against its own shift.
+	Df := s.fetch[(dyn-1)&imask] - s.fetch[(dyn-1-shift)&imask]
+	if Df <= 0 || Df > D {
+		return false
+	}
+	win := s.liveInstr + confirmPeriods*shift
+	for d := dyn - win; d < dyn; d++ {
+		j, k := d&imask, (d-shift)&imask
+		if s.retire[j]-s.retire[k] != D ||
+			s.fetch[j]-s.fetch[k] != Df ||
+			s.ready[j]-s.ready[k] != D ||
+			s.started[j]-s.started[k] != D {
+			if debugSteady != nil {
+				debugSteady("iter=%d P=%d: timestamp mismatch at dyn=%d (back %d): retΔ=%v fetΔ=%v rdyΔ=%v staΔ=%v want D=%v Df=%v",
+					iter, P, d, dyn-d, s.retire[j]-s.retire[k], s.fetch[j]-s.fetch[k], s.ready[j]-s.ready[k], s.started[j]-s.started[k], D, Df)
+			}
+			return false
+		}
+	}
+
+	uShift := P * s.slotsPerIter
+	uTop := s.uopCount // == iter*slotsPerIter at a boundary
+	uWin := s.liveU + confirmPeriods*uShift
+	if uTop < uWin+uShift {
+		if debugSteady != nil {
+			debugSteady("iter=%d P=%d: uop history too short", iter, P)
+		}
+		return false
+	}
+	umask := s.umask
+	for d := uTop - uWin; d < uTop; d++ {
+		j, k := d&umask, (d-uShift)&umask
+		if s.uopDispatch[j]-s.uopDispatch[k] != D ||
+			s.uopIssued[j]-s.uopIssued[k] != D {
+			if debugSteady != nil {
+				debugSteady("iter=%d P=%d: uop mismatch at slot=%d (back %d): dispΔ=%v issΔ=%v want %v",
+					iter, P, d, uTop-d, s.uopDispatch[j]-s.uopDispatch[k], s.uopIssued[j]-s.uopIssued[k], D)
+			}
+			return false
+		}
+	}
+
+	for c := 0; c < confirmPeriods; c++ {
+		if !s.tailsShifted(iter-c*P, iter-(c+1)*P, D) {
+			if debugSteady != nil {
+				debugSteady("iter=%d P=%d: tail mismatch at confirm %d", iter, P, c)
+			}
+			return false
+		}
+	}
+	return true
+}
+
+func (s *simState) tailsShifted(a, b int, D float64) bool {
+	sa, sb := &s.tails[a%tailRingLen], &s.tails[b%tailRingLen]
+	if len(sa.counts) != len(sb.counts) || len(sa.starts) != len(sb.starts) {
+		return false
+	}
+	for i := range sa.counts {
+		if sa.counts[i] != sb.counts[i] {
+			return false
+		}
+	}
+	for i := range sa.starts {
+		if sa.starts[i]-sb.starts[i] != D || sa.ends[i]-sb.ends[i] != D {
+			return false
+		}
+	}
+	return true
+}
+
+// extrapolateBoundary returns the retire timestamp the full simulation
+// would have produced at iteration boundary T ≥ detIter: the recorded
+// value at the phase-matching recent boundary, plus D once per elapsed
+// period. The additions are performed one by one — with exact arithmetic
+// this is precisely the sequence of values the simulated boundaries would
+// have taken.
+func (s *simState) extrapolateBoundary(T, detIter, P int, D float64) float64 {
+	phase := (T - detIter) % P
+	b := detIter
+	if phase != 0 {
+		b = detIter - P + phase
+	}
+	v := s.bRetire[b%bRetireLen]
+	for k := 0; k < (T-b)/P; k++ {
+		v += D
+	}
+	return v
+}
+
+// replayPortBusy accounts the measured-window port busy time of the
+// skipped iterations. The per-iteration charge sequence (occSeq) is fixed
+// at compile time; the port choices repeat with period P and were
+// recorded for the last P simulated iterations. Replaying performs the
+// identical additions, in the identical order, that full simulation would
+// have performed.
+func (s *simState) replayPortBusy(cfg *Config, detIter, P, iters int) {
+	for it := detIter; it < iters; it++ {
+		if it < cfg.WarmupIters {
+			continue
+		}
+		src := detIter - P + (it-detIter)%P
+		rec := s.portRec[(src%maxPeriod)*len(s.occSeq):]
+		for k, occ := range s.occSeq {
+			s.portBusy[rec[k]] += occ
+		}
+	}
+}
