@@ -67,7 +67,9 @@ func genBlock(name, arch string, c kernels.Compiler, o kernels.OptLevel) *isa.Bl
 // suite returns the benchmark set, keyed by stable names. It mirrors the
 // repo-level Benchmark{Simulator,Analyzer}SingleBlock benches and adds an
 // AArch64 block and the Zen 4 divide kernel (whose non-dyadic early-exit
-// occupancies keep the simulator on the full-length path).
+// occupancies keep the simulator on the full-length path). The analyzer
+// front-end is benchmarked on all three models so the alloc-budget gate
+// covers the x86 and AArch64 lookup/effects paths alike.
 func suite() map[string]func(b *testing.B) {
 	striadGLC := genBlock("striad", "goldencove", kernels.GCC, kernels.O3)
 	j3d27V2 := genBlock("j3d27", "neoversev2", kernels.GCC, kernels.O3)
@@ -86,19 +88,24 @@ func suite() map[string]func(b *testing.B) {
 		}
 	}
 	an := core.New()
-	glc := uarch.MustGet("goldencove")
-	return map[string]func(b *testing.B){
-		"SimRun/goldencove/striad": simBench(striadGLC, "goldencove"),
-		"SimRun/neoversev2/j3d27":  simBench(j3d27V2, "neoversev2"),
-		"SimRun/zen4/pi":           simBench(piZen4, "zen4"),
-		"Analyze/goldencove/striad": func(b *testing.B) {
+	analyzeBench := func(blk *isa.Block, arch string) func(b *testing.B) {
+		m := uarch.MustGet(arch)
+		return func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := an.Analyze(striadGLC, glc); err != nil {
+				if _, err := an.Analyze(blk, m); err != nil {
 					b.Fatal(err)
 				}
 			}
-		},
+		}
+	}
+	return map[string]func(b *testing.B){
+		"SimRun/goldencove/striad":  simBench(striadGLC, "goldencove"),
+		"SimRun/neoversev2/j3d27":   simBench(j3d27V2, "neoversev2"),
+		"SimRun/zen4/pi":            simBench(piZen4, "zen4"),
+		"Analyze/goldencove/striad": analyzeBench(striadGLC, "goldencove"),
+		"Analyze/neoversev2/j3d27":  analyzeBench(j3d27V2, "neoversev2"),
+		"Analyze/zen4/pi":           analyzeBench(piZen4, "zen4"),
 	}
 }
 

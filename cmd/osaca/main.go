@@ -23,6 +23,7 @@ import (
 	"incore/internal/ecm"
 	"incore/internal/isa"
 	"incore/internal/mca"
+	"incore/internal/profiling"
 	"incore/internal/sim"
 	"incore/internal/uarch"
 )
@@ -35,16 +36,20 @@ func main() {
 	ecmLevel := flag.String("ecm", "", "ECM prediction for a working set in L1|L2|L3|MEM")
 	nt := flag.Bool("nt", false, "assume non-temporal stores (no write-allocate) in the ECM prediction")
 	traceFile := flag.String("trace", "", "write a Chrome trace of the simulation to this file (implies -sim)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation (heap) profile to this file")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: osaca -arch <model> [-compare] [-sim] [-ecm LEVEL] <file.s|->")
 		os.Exit(2)
 	}
-	var (
-		src []byte
-		err error
-	)
+	stopProfiling, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProfiling()
+	var src []byte
 	if flag.Arg(0) == "-" {
 		src, err = io.ReadAll(os.Stdin)
 	} else {

@@ -93,18 +93,36 @@ func (a *Analyzer) Fingerprint() string {
 		a.Opt.IncludeFalseDeps, a.Opt.MemCarriedWindow, a.Opt.StoreForwardLat)
 }
 
-// Analyze runs the in-core model for block b on machine model m.
+// Analyze runs the in-core model for block b on machine model m. Scratch
+// memory is drawn from an internal pool, so concurrent callers (pipeline
+// jobs, served requests) are safe and a steady stream of analyses does
+// O(1) heap work after warmup beyond the returned Result itself.
 func (a *Analyzer) Analyze(b *isa.Block, m *uarch.Model) (*Result, error) {
+	s := scratchPool.Get().(*Scratch)
+	defer scratchPool.Put(s)
+	return a.AnalyzeScratch(b, m, s)
+}
+
+// AnalyzeScratch is Analyze with caller-provided scratch memory (nil
+// falls back to fresh scratch). The Result never aliases s, so s may be
+// reused immediately; s must not be shared between goroutines.
+func (a *Analyzer) AnalyzeScratch(b *isa.Block, m *uarch.Model, s *Scratch) (*Result, error) {
+	if s == nil {
+		s = &Scratch{}
+	}
 	if err := b.Validate(); err != nil {
 		return nil, err
 	}
-	g, err := depgraph.New(b, m, a.Opt)
+	g, err := depgraph.NewScratch(b, m, a.Opt, &s.dg)
 	if err != nil {
 		return nil, err
 	}
 
 	res := &Result{Block: b, Model: m}
-	var jobs []balanceJob
+	nPorts := len(m.Ports)
+	s.jobs = s.jobs[:0]
+	s.jobSpan = append(s.jobSpan[:0], 0)
+	res.Instrs = make([]InstrReport, 0, len(b.Instrs))
 	for i := range b.Instrs {
 		d := g.Nodes[i].Desc
 		ir := InstrReport{
@@ -115,20 +133,23 @@ func (a *Analyzer) Analyze(b *isa.Block, m *uarch.Model) (*Result, error) {
 			TotalLat:   d.TotalLat,
 			Throughput: d.ThroughputCycles(),
 		}
-		instrJobs := make([]balanceJob, 0, len(d.Uops))
 		for _, u := range d.Uops {
-			j := balanceJob{Mask: u.Ports, Cycles: u.Cycles}
-			jobs = append(jobs, j)
-			instrJobs = append(instrJobs, j)
+			s.jobs = append(s.jobs, balanceJob{Mask: u.Ports, Cycles: u.Cycles})
 		}
-		ir.PortLoads = HeuristicAssignment(instrJobs, len(m.Ports))
+		s.jobSpan = append(s.jobSpan, int32(len(s.jobs)))
 		res.TotalUops += d.UopCount()
 		res.Instrs = append(res.Instrs, ir)
 	}
+	// Per-instruction pressure over the instruction's span of the shared
+	// job array; only the Result's own copy is freshly allocated.
+	for i := range res.Instrs {
+		loads := s.heuristicInto(s.jobs[s.jobSpan[i]:s.jobSpan[i+1]], nPorts)
+		res.Instrs[i].PortLoads = append([]float64(nil), loads...)
+	}
 
-	res.PortPressure = HeuristicAssignment(jobs, len(m.Ports))
-	res.TPBound = OptimalPortBound(jobs)
-	res.GreedyTPBound = GreedyPortBound(jobs, len(m.Ports))
+	res.PortPressure = append([]float64(nil), s.heuristicInto(s.jobs, nPorts)...)
+	res.TPBound = s.optimalBound(s.jobs, nPorts)
+	res.GreedyTPBound = s.greedyBound(s.jobs, nPorts)
 	res.IssueBound = float64(res.TotalUops) / float64(m.IssueWidth)
 	res.CriticalPath, res.CPPath = g.CriticalPathDetail()
 	res.LCD = g.LoopCarried(-1)

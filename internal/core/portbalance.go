@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"math/bits"
 
 	"incore/internal/uarch"
 )
@@ -14,7 +15,8 @@ type balanceJob struct {
 }
 
 // OptimalPortBound computes the exact minimum achievable maximum port load
-// (in cycles) for a set of splittable µ-ops with port restrictions.
+// (in cycles) for a set of splittable µ-ops with port restrictions over a
+// machine with nPorts ports.
 //
 // For splittable jobs under restricted assignment the optimum equals
 //
@@ -24,53 +26,83 @@ type balanceJob struct {
 // contained in S, and the maximizing S can be chosen as a union of job
 // candidate sets. The number of distinct candidate sets in a real machine
 // model is small, so enumerating all unions is cheap and exact.
-func OptimalPortBound(jobs []balanceJob) float64 {
-	// Collect distinct masks and aggregate their work.
-	work := map[uarch.PortMask]float64{}
+func OptimalPortBound(jobs []balanceJob, nPorts int) float64 {
+	s := scratchPool.Get().(*Scratch)
+	defer scratchPool.Put(s)
+	return s.optimalBound(jobs, nPorts)
+}
+
+// optimalBound is OptimalPortBound on this scratch's arenas.
+func (s *Scratch) optimalBound(jobs []balanceJob, nPorts int) float64 {
+	// Aggregate work per distinct mask, in job order. Real models carry
+	// ~10 distinct masks, so a linear scan beats hashing.
+	s.masks, s.works = s.masks[:0], s.works[:0]
+	var union uarch.PortMask
 	for _, j := range jobs {
 		if j.Mask == 0 || j.Cycles <= 0 {
 			continue
 		}
-		work[j.Mask] += j.Cycles
+		union |= j.Mask
+		found := false
+		for i, m := range s.masks {
+			if m == j.Mask {
+				s.works[i] += j.Cycles
+				found = true
+				break
+			}
+		}
+		if !found {
+			s.masks = append(s.masks, j.Mask)
+			s.works = append(s.works, j.Cycles)
+		}
 	}
-	if len(work) == 0 {
+	if len(s.masks) == 0 {
 		return 0
 	}
-	masks := make([]uarch.PortMask, 0, len(work))
-	for m := range work {
-		masks = append(masks, m)
-	}
-	// Enumerate unions of subsets of distinct masks.
-	seen := map[uarch.PortMask]bool{}
 	best := 0.0
-	n := len(masks)
+	n := len(s.masks)
 	if n > 20 {
 		// Defensive fallback: proportional heuristic (not expected with
 		// realistic models, which have ~10 distinct masks).
-		loads := HeuristicAssignment(jobs, 32)
-		for _, l := range loads {
+		for _, l := range s.heuristicInto(jobs, nPorts) {
 			best = math.Max(best, l)
 		}
 		return best
 	}
-	for bits := 1; bits < 1<<uint(n); bits++ {
-		var s uarch.PortMask
+	// Dedup visited unions with an epoch-stamped direct-index table when
+	// the union fits one (any real model: ≤ 12 ports). Without the
+	// table, duplicate unions are merely recomputed — same maximum.
+	useSeen := union < 1<<16
+	if useSeen {
+		if need := int(union) + 1; len(s.seen) < need {
+			s.seen = append(s.seen, make([]uint32, need-len(s.seen))...)
+		}
+		s.epoch++
+		if s.epoch == 0 { // wrapped: stale stamps could collide, rewash
+			clear(s.seen)
+			s.epoch = 1
+		}
+	}
+	for set := 1; set < 1<<uint(n); set++ {
+		var u uarch.PortMask
 		for i := 0; i < n; i++ {
-			if bits&(1<<uint(i)) != 0 {
-				s |= masks[i]
+			if set&(1<<uint(i)) != 0 {
+				u |= s.masks[i]
 			}
 		}
-		if seen[s] {
-			continue
+		if useSeen {
+			if s.seen[u] == s.epoch {
+				continue
+			}
+			s.seen[u] = s.epoch
 		}
-		seen[s] = true
 		demand := 0.0
-		for m, c := range work {
-			if m&^s == 0 {
-				demand += c
+		for i, m := range s.masks {
+			if m&^u == 0 {
+				demand += s.works[i]
 			}
 		}
-		if v := demand / float64(s.Count()); v > best {
+		if v := demand / float64(u.Count()); v > best {
 			best = v
 		}
 	}
@@ -82,14 +114,38 @@ func OptimalPortBound(jobs []balanceJob) float64 {
 // load vector. It is used for the per-port pressure *report*; the bound
 // itself comes from OptimalPortBound. nPorts caps the port index range.
 func HeuristicAssignment(jobs []balanceJob, nPorts int) []float64 {
-	loads := make([]float64, nPorts)
-	// shares[j][p]: current split of job j.
-	shares := make([][]float64, len(jobs))
+	s := scratchPool.Get().(*Scratch)
+	defer scratchPool.Put(s)
+	loads := s.heuristicInto(jobs, nPorts)
+	out := make([]float64, len(loads))
+	copy(out, loads)
+	return out
+}
+
+// heuristicInto is HeuristicAssignment on this scratch's arenas; the
+// returned slice is s.loads and valid until the scratch's next use.
+//
+// The splits live in one flat shares array (portSpan[j]..portSpan[j+1] is
+// job j's span over ports) instead of a jagged per-job matrix, and the
+// iteration stops early at a fixed point: when a full pass leaves every
+// share bitwise unchanged, each remaining pass would start from the same
+// shares and run the identical float sequence, so the final loads are
+// bit-for-bit those of the fixed 64-pass reference.
+func (s *Scratch) heuristicInto(jobs []balanceJob, nPorts int) []float64 {
+	s.loads = grow(s.loads, nPorts)
+	loads := s.loads
+	s.ports, s.shares = s.ports[:0], s.shares[:0]
+	s.portSpan = append(s.portSpan[:0], 0)
+	for _, job := range jobs {
+		for v := job.Mask; v != 0; v &= v - 1 {
+			s.ports = append(s.ports, int32(bits.TrailingZeros32(uint32(v))))
+		}
+		s.portSpan = append(s.portSpan, int32(len(s.ports)))
+	}
 	for j, job := range jobs {
-		ports := job.Mask.Indices()
-		shares[j] = make([]float64, len(ports))
-		for k := range ports {
-			shares[j][k] = job.Cycles / float64(len(ports))
+		np := int(s.portSpan[j+1] - s.portSpan[j])
+		for k := 0; k < np; k++ {
+			s.shares = append(s.shares, job.Cycles/float64(np))
 		}
 	}
 	const iters = 64
@@ -97,33 +153,42 @@ func HeuristicAssignment(jobs []balanceJob, nPorts int) []float64 {
 		for i := range loads {
 			loads[i] = 0
 		}
-		for j, job := range jobs {
-			for k, p := range job.Mask.Indices() {
-				loads[p] += shares[j][k]
+		for j := range jobs {
+			for k := s.portSpan[j]; k < s.portSpan[j+1]; k++ {
+				loads[s.ports[k]] += s.shares[k]
 			}
 		}
 		// Rebalance each job toward less-loaded ports.
-		for j, job := range jobs {
-			ports := job.Mask.Indices()
-			if len(ports) <= 1 {
+		changed := false
+		for j := range jobs {
+			lo, hi := s.portSpan[j], s.portSpan[j+1]
+			if hi-lo <= 1 {
 				continue
 			}
 			// Remove this job's contribution.
-			for k, p := range ports {
-				loads[p] -= shares[j][k]
+			for k := lo; k < hi; k++ {
+				loads[s.ports[k]] -= s.shares[k]
 			}
-			// Redistribute: weight inversely with residual load.
-			weights := make([]float64, len(ports))
+			// Redistribute: weight inversely with residual load. A mask
+			// has at most 32 ports, so the weights fit a stack array.
+			var weights [32]float64
 			sum := 0.0
-			for k, p := range ports {
-				w := 1.0 / (loads[p] + 0.05)
-				weights[k] = w
+			for k := lo; k < hi; k++ {
+				w := 1.0 / (loads[s.ports[k]] + 0.05)
+				weights[k-lo] = w
 				sum += w
 			}
-			for k, p := range ports {
-				shares[j][k] = job.Cycles * weights[k] / sum
-				loads[p] += shares[j][k]
+			for k := lo; k < hi; k++ {
+				share := jobs[j].Cycles * weights[k-lo] / sum
+				if share != s.shares[k] {
+					changed = true
+				}
+				s.shares[k] = share
+				loads[s.ports[k]] += share
 			}
+		}
+		if !changed {
+			break
 		}
 	}
 	return loads
@@ -136,10 +201,22 @@ func HeuristicAssignment(jobs []balanceJob, nPorts int) []float64 {
 // achieves and is exposed for the ablation study of the port-balancing
 // design choice (DESIGN.md #1).
 func GreedyPortBound(jobs []balanceJob, nPorts int) float64 {
-	loads := make([]float64, nPorts)
+	s := scratchPool.Get().(*Scratch)
+	defer scratchPool.Put(s)
+	return s.greedyBound(jobs, nPorts)
+}
+
+// greedyBound is GreedyPortBound on this scratch's arenas.
+func (s *Scratch) greedyBound(jobs []balanceJob, nPorts int) float64 {
+	s.loads = grow(s.loads, nPorts)
+	loads := s.loads
+	for i := range loads {
+		loads[i] = 0
+	}
 	for _, job := range jobs {
 		bestPort, bestLoad := -1, math.Inf(1)
-		for _, p := range job.Mask.Indices() {
+		for v := job.Mask; v != 0; v &= v - 1 {
+			p := bits.TrailingZeros32(uint32(v))
 			if loads[p] < bestLoad {
 				bestPort, bestLoad = p, loads[p]
 			}

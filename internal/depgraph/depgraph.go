@@ -92,6 +92,55 @@ func DefaultOptions() Options {
 	return Options{MemCarriedWindow: 64}
 }
 
+// regAccess locates one register read or write: instruction idx in
+// simulated iteration iter.
+type regAccess struct {
+	idx  int
+	iter int
+}
+
+// edgeIdent is the dedupe identity of an edge.
+type edgeIdent struct {
+	from, to int
+	kind     EdgeKind
+	carried  bool
+	reg      isa.RegKey
+}
+
+// Scratch holds every reusable arena graph construction and path
+// extraction need, so a steady stream of graphs does O(1) heap work
+// after warmup. The zero value is ready. A Scratch serves one
+// goroutine at a time, and a Graph built against it (NewScratch) — its
+// nodes, edges, and effect slices — is only valid until the scratch's
+// next use; results that outlive the graph (paths, LCD reports) are
+// freshly allocated and safe to retain.
+type Scratch struct {
+	graph    Graph
+	interner isa.RegInterner
+	effects  isa.EffectsArena
+	nodes    []Node
+	edges    []Edge
+	out      [][]int
+	readIDs  [][]int32
+	writeIDs [][]int32
+
+	lastWriter  []regAccess
+	lastReaders [][]regAccess
+	dedupe      map[edgeIdent]struct{}
+
+	dist []float64
+	prev []int
+}
+
+// growOuter returns s resized to n entries, keeping existing entries (and
+// therefore the capacity of any inner slices) wherever possible.
+func growOuter[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return append(s[:cap(s)], make([]T, n-cap(s))...)
+}
+
 // Graph is the dependency graph of one block against one machine model.
 type Graph struct {
 	Block *isa.Block
@@ -100,24 +149,48 @@ type Graph struct {
 	Edges []Edge
 	// out[i] lists indices into Edges with From == i.
 	out [][]int
+	// scr backs all construction and query arenas.
+	scr *Scratch
 }
 
 // New builds the dependency graph. Every instruction must resolve against
 // the model.
 func New(b *isa.Block, m *uarch.Model, opt Options) (*Graph, error) {
-	g := &Graph{Block: b, Model: m}
-	g.Nodes = make([]Node, len(b.Instrs))
+	return NewScratch(b, m, opt, nil)
+}
+
+// NewScratch is New with the graph's internal storage carved out of s's
+// reusable arenas (a nil s uses fresh ones). The returned graph and its
+// nodes/edges are only valid until s is next passed to NewScratch.
+func NewScratch(b *isa.Block, m *uarch.Model, opt Options, s *Scratch) (*Graph, error) {
+	if s == nil {
+		s = &Scratch{}
+	}
+	s.interner.Reset()
+	s.effects.Reset()
+	g := &s.graph
+	*g = Graph{Block: b, Model: m, scr: s}
+	n := len(b.Instrs)
+	s.nodes = growOuter(s.nodes, n)
+	g.Nodes = s.nodes
 	for i := range b.Instrs {
 		in := &b.Instrs[i]
-		d, err := m.Lookup(in)
+		eff := isa.InstrEffectsArena(in, m.Dialect, &s.effects)
+		d, err := m.LookupEff(in, &eff)
 		if err != nil {
 			return nil, fmt.Errorf("depgraph: block %s: instr %d (%s): %w", b.Name, i, in.Mnemonic, err)
 		}
-		g.Nodes[i] = Node{Index: i, Desc: d, Eff: isa.InstrEffects(in, m.Dialect)}
+		g.Nodes[i] = Node{Index: i, Desc: d, Eff: eff}
 	}
+	g.Edges = s.edges[:0]
 	g.buildRegEdges(opt)
 	g.buildMemEdges(opt)
-	g.out = make([][]int, len(g.Nodes))
+	s.edges = g.Edges
+	s.out = growOuter(s.out, n)
+	for i := range s.out {
+		s.out[i] = s.out[i][:0]
+	}
+	g.out = s.out[:n]
 	for ei := range g.Edges {
 		e := &g.Edges[ei]
 		g.out[e.From] = append(g.out[e.From], ei)
@@ -159,29 +232,30 @@ func accumulatorKey(in *isa.Instruction, d isa.Dialect) (isa.RegKey, bool) {
 
 func (g *Graph) buildRegEdges(opt Options) {
 	n := len(g.Nodes)
+	s := g.scr
 	// lastWriter[id] = index of the most recent writer of the register
 	// with that interned ID in program order; simulate two consecutive
 	// iterations to find carried edges. The interner is shared with the
 	// simulator's compile step (isa.RegInterner): both lower RegKey maps
 	// to dense-ID slices, so per-register tracking is slice indexing.
-	type access struct {
-		idx  int
-		iter int
-	}
-	var interner isa.RegInterner
-	readIDs := make([][]int32, n)
-	writeIDs := make([][]int32, n)
+	s.readIDs = growOuter(s.readIDs, n)
+	s.writeIDs = growOuter(s.writeIDs, n)
 	for i := range g.Nodes {
-		readIDs[i] = interner.InternAll(nil, g.Nodes[i].Eff.Reads)
-		writeIDs[i] = interner.InternAll(nil, g.Nodes[i].Eff.Writes)
+		s.readIDs[i] = s.interner.InternAll(s.readIDs[i][:0], g.Nodes[i].Eff.Reads)
+		s.writeIDs[i] = s.interner.InternAll(s.writeIDs[i][:0], g.Nodes[i].Eff.Writes)
 	}
-	lastWriter := make([]access, interner.Len())
-	for i := range lastWriter {
-		lastWriter[i] = access{idx: -1}
+	nRegs := s.interner.Len()
+	s.lastWriter = growOuter(s.lastWriter, nRegs)
+	for i := range s.lastWriter {
+		s.lastWriter[i] = regAccess{idx: -1}
 	}
-	lastReaders := make([][]access, interner.Len())
+	s.lastReaders = growOuter(s.lastReaders, nRegs)
+	for i := range s.lastReaders {
+		s.lastReaders[i] = s.lastReaders[i][:0]
+	}
+	lastWriter, lastReaders := s.lastWriter, s.lastReaders
 
-	addRAW := func(from access, to access, key isa.RegKey) {
+	addRAW := func(from regAccess, to regAccess, key isa.RegKey) {
 		if from.iter == 1 && to.iter == 1 {
 			return // duplicate of the 0->0 intra edge
 		}
@@ -205,9 +279,9 @@ func (g *Graph) buildRegEdges(opt Options) {
 	for iter := 0; iter < 2; iter++ {
 		for i := 0; i < n; i++ {
 			node := &g.Nodes[i]
-			cur := access{idx: i, iter: iter}
+			cur := regAccess{idx: i, iter: iter}
 			for ri, r := range node.Eff.Reads {
-				id := readIDs[i][ri]
+				id := s.readIDs[i][ri]
 				if w := lastWriter[id]; w.idx >= 0 {
 					if !(w.iter == iter && w.idx == i) {
 						addRAW(w, cur, r)
@@ -216,7 +290,7 @@ func (g *Graph) buildRegEdges(opt Options) {
 				lastReaders[id] = append(lastReaders[id], cur)
 			}
 			for wi, w := range node.Eff.Writes {
-				id := writeIDs[i][wi]
+				id := s.writeIDs[i][wi]
 				if opt.IncludeFalseDeps {
 					if pw := lastWriter[id]; pw.idx >= 0 && !(pw.iter == 1 && iter == 1) && pw.iter <= iter {
 						g.Edges = append(g.Edges, Edge{
@@ -239,7 +313,7 @@ func (g *Graph) buildRegEdges(opt Options) {
 						}
 					}
 				}
-				lastWriter[id] = access{idx: i, iter: iter}
+				lastWriter[id] = regAccess{idx: i, iter: iter}
 				lastReaders[id] = lastReaders[id][:0]
 			}
 		}
@@ -247,24 +321,26 @@ func (g *Graph) buildRegEdges(opt Options) {
 	g.dedupeEdges()
 }
 
+// dedupeEdges removes repeated edges in place, keeping first occurrences
+// in order.
 func (g *Graph) dedupeEdges() {
-	type ek struct {
-		from, to int
-		kind     EdgeKind
-		carried  bool
-		reg      isa.RegKey
+	s := g.scr
+	if s.dedupe == nil {
+		s.dedupe = make(map[edgeIdent]struct{}, len(g.Edges))
+	} else {
+		clear(s.dedupe)
 	}
-	seen := map[ek]bool{}
-	var out []Edge
+	w := 0
 	for _, e := range g.Edges {
-		k := ek{e.From, e.To, e.Kind, e.Carried, e.Reg}
-		if seen[k] {
+		k := edgeIdent{e.From, e.To, e.Kind, e.Carried, e.Reg}
+		if _, dup := s.dedupe[k]; dup {
 			continue
 		}
-		seen[k] = true
-		out = append(out, e)
+		s.dedupe[k] = struct{}{}
+		g.Edges[w] = e
+		w++
 	}
-	g.Edges = out
+	g.Edges = g.Edges[:w]
 }
 
 // chainLat is the latency a producer contributes along a register
@@ -352,13 +428,17 @@ func (g *Graph) CriticalPath() float64 {
 }
 
 // CriticalPathDetail additionally returns the instruction indices on the
-// critical path in program order (the OSACA report's CP column).
+// critical path in program order (the OSACA report's CP column). The
+// returned path is freshly allocated and safe to retain.
 func (g *Graph) CriticalPathDetail() (float64, []int) {
 	n := len(g.Nodes)
+	s := g.scr
 	// dist[i] = longest path ending at i, including i's own latency.
-	dist := make([]float64, n)
-	prev := make([]int, n)
-	for i := range prev {
+	s.dist = growOuter(s.dist, n)
+	s.prev = growOuter(s.prev, n)
+	dist, prev := s.dist[:n], s.prev[:n]
+	for i := range dist {
+		dist[i] = 0
 		prev[i] = -1
 	}
 	best, bestEnd := 0.0, -1
@@ -411,7 +491,10 @@ type LCDResult struct {
 // accumulator edges (used to model accumulator forwarding); pass -1 for
 // table latencies.
 func (g *Graph) LoopCarried(accLatOverride float64) LCDResult {
+	// First pass finds the dominant carried edge by cycle latency alone;
+	// the (allocating) path is materialized only for the winner.
 	best := LCDResult{}
+	bestEdge := -1
 	for ei := range g.Edges {
 		e := &g.Edges[ei]
 		if !e.Carried {
@@ -419,7 +502,7 @@ func (g *Graph) LoopCarried(accLatOverride float64) LCDResult {
 		}
 		// Longest path from e.To to e.From using intra-iteration edges,
 		// then close the cycle with e.
-		lat, path := g.longestPathBetween(e.To, e.From, accLatOverride)
+		lat := g.longestPathBetween(e.To, e.From, accLatOverride)
 		if lat < 0 {
 			continue // e.From not reachable from e.To
 		}
@@ -429,8 +512,14 @@ func (g *Graph) LoopCarried(accLatOverride float64) LCDResult {
 		}
 		total := lat + closeLat
 		if total > best.Cycles {
-			best = LCDResult{Cycles: total, Path: path, ViaAccumulator: e.Kind == EdgeRAW && e.ViaAccumulator}
+			best = LCDResult{Cycles: total, ViaAccumulator: e.Kind == EdgeRAW && e.ViaAccumulator}
+			bestEdge = ei
 		}
+	}
+	if bestEdge >= 0 {
+		e := &g.Edges[bestEdge]
+		g.longestPathBetween(e.To, e.From, accLatOverride)
+		best.Path = g.materializePath(e.To, e.From)
 	}
 	return best
 }
@@ -438,12 +527,15 @@ func (g *Graph) LoopCarried(accLatOverride float64) LCDResult {
 // longestPathBetween returns the longest latency path from src to dst using
 // only intra-iteration edges, where path latency is the sum of edge
 // latencies (edge latency = producer latency). Returns -1 when dst is
-// unreachable; a zero-length path (src == dst) has latency 0.
-func (g *Graph) longestPathBetween(src, dst int, accLatOverride float64) (float64, []int) {
+// unreachable; a zero-length path (src == dst) has latency 0. The
+// predecessor chain is left in the scratch for materializePath.
+func (g *Graph) longestPathBetween(src, dst int, accLatOverride float64) float64 {
 	n := len(g.Nodes)
+	s := g.scr
 	const unreach = -1.0
-	dist := make([]float64, n)
-	prev := make([]int, n)
+	s.dist = growOuter(s.dist, n)
+	s.prev = growOuter(s.prev, n)
+	dist, prev := s.dist[:n], s.prev[:n]
 	for i := range dist {
 		dist[i] = unreach
 		prev[i] = -1
@@ -468,9 +560,13 @@ func (g *Graph) longestPathBetween(src, dst int, accLatOverride float64) (float6
 			}
 		}
 	}
-	if dist[dst] == unreach {
-		return -1, nil
-	}
+	return dist[dst]
+}
+
+// materializePath rebuilds the src→dst path from the predecessor chain the
+// last longestPathBetween left behind, as a fresh slice safe to retain.
+func (g *Graph) materializePath(src, dst int) []int {
+	prev := g.scr.prev
 	var path []int
 	for v := dst; v != -1; v = prev[v] {
 		path = append(path, v)
@@ -482,7 +578,7 @@ func (g *Graph) longestPathBetween(src, dst int, accLatOverride float64) (float6
 	for l, r := 0, len(path)-1; l < r; l, r = l+1, r-1 {
 		path[l], path[r] = path[r], path[l]
 	}
-	return dist[dst], path
+	return path
 }
 
 // CarriedEdges returns the loop-carried edges (for reporting and tests).

@@ -52,3 +52,11 @@ func (ri *RegInterner) InternAll(dst []int32, ks []RegKey) []int32 {
 	}
 	return dst
 }
+
+// Reset forgets all assignments while keeping the allocated capacity, so
+// a pooled interner can be reused across blocks without reallocating its
+// table. IDs restart at 0.
+func (ri *RegInterner) Reset() {
+	clear(ri.ids)
+	ri.keys = ri.keys[:0]
+}

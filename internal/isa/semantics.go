@@ -174,9 +174,70 @@ func x86WritesFlags(m string) bool {
 // pointers, which identify the operands).
 func InstrEffects(in *Instruction, d Dialect) Effects {
 	if d == DialectAArch64 {
-		return effectsAArch64(in)
+		return effectsAArch64(in, Effects{})
 	}
-	return effectsX86(in)
+	return effectsX86(in, Effects{})
+}
+
+// EffectsArena backs InstrEffectsArena results with reusable flat
+// buffers, so repeated effect computation does O(1) heap work after
+// warmup. The zero value is ready; an arena must not be shared between
+// goroutines. Effects returned against an arena stay valid until its
+// next Reset.
+type EffectsArena struct {
+	tmp           Effects
+	reads, writes []RegKey
+	loads, stores []*MemOp
+}
+
+// Reset recycles all effects handed out since the last Reset, keeping
+// the allocated capacity.
+func (a *EffectsArena) Reset() {
+	a.reads, a.writes = a.reads[:0], a.writes[:0]
+	a.loads, a.stores = a.loads[:0], a.stores[:0]
+}
+
+// InstrEffectsArena is InstrEffects with the result slices carved out of
+// a's buffers. A nil arena falls back to fresh allocations.
+func InstrEffectsArena(in *Instruction, d Dialect, a *EffectsArena) Effects {
+	if a == nil {
+		return InstrEffects(in, d)
+	}
+	seed := Effects{
+		Reads:    a.tmp.Reads[:0],
+		Writes:   a.tmp.Writes[:0],
+		LoadOps:  a.tmp.LoadOps[:0],
+		StoreOps: a.tmp.StoreOps[:0],
+	}
+	var e Effects
+	if d == DialectAArch64 {
+		e = effectsAArch64(in, seed)
+	} else {
+		e = effectsX86(in, seed)
+	}
+	a.tmp = e
+	var out Effects
+	if len(e.Reads) > 0 {
+		n := len(a.reads)
+		a.reads = append(a.reads, e.Reads...)
+		out.Reads = a.reads[n:len(a.reads):len(a.reads)]
+	}
+	if len(e.Writes) > 0 {
+		n := len(a.writes)
+		a.writes = append(a.writes, e.Writes...)
+		out.Writes = a.writes[n:len(a.writes):len(a.writes)]
+	}
+	if len(e.LoadOps) > 0 {
+		n := len(a.loads)
+		a.loads = append(a.loads, e.LoadOps...)
+		out.LoadOps = a.loads[n:len(a.loads):len(a.loads)]
+	}
+	if len(e.StoreOps) > 0 {
+		n := len(a.stores)
+		a.stores = append(a.stores, e.StoreOps...)
+		out.StoreOps = a.stores[n:len(a.stores):len(a.stores)]
+	}
+	return out
 }
 
 func addrReads(e *Effects, m *MemOp) {
@@ -188,8 +249,9 @@ func addrReads(e *Effects, m *MemOp) {
 	}
 }
 
-func effectsX86(in *Instruction) Effects {
-	var e Effects
+// effectsX86 builds the effect sets by appending to e's (possibly
+// capacity-carrying, length-zero) slices.
+func effectsX86(in *Instruction, e Effects) Effects {
 	cat := categorizeX86(in.Mnemonic)
 	ops := in.Operands
 	n := len(ops)
@@ -284,8 +346,9 @@ func effectsX86(in *Instruction) Effects {
 	return e
 }
 
-func effectsAArch64(in *Instruction) Effects {
-	var e Effects
+// effectsAArch64 builds the effect sets by appending to e's (possibly
+// capacity-carrying, length-zero) slices.
+func effectsAArch64(in *Instruction, e Effects) Effects {
 	cat := categorizeAArch64(in.Mnemonic)
 	ops := in.Operands
 	n := len(ops)

@@ -24,6 +24,7 @@ package mca
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"incore/internal/isa"
 	"incore/internal/portsched"
@@ -73,6 +74,70 @@ type Result struct {
 	Iters         int
 }
 
+// sInstr is the static per-instruction schedule state: registers lowered
+// to dense interned IDs so the replay loop tracks producers with slice
+// indexing instead of map lookups.
+type sInstr struct {
+	desc     uarch.Desc
+	dataIDs  []int32 // interned data-read registers (address regs excluded)
+	writeIDs []int32
+	lat      float64
+}
+
+// scratch holds the reusable arenas one Predict call needs; a sync.Pool
+// makes a steady stream of predictions do O(1) heap work after warmup
+// and concurrent callers safe.
+type scratch struct {
+	interner isa.RegInterner
+	effects  isa.EffectsArena
+	static   []sInstr
+	producer []int32 // by reg ID: dynamic index of last writer, -1 none
+	ready    []float64
+	finish   []float64
+	dispatch []float64
+	ports    portsched.Group
+	addrIDs  []int32 // per-instruction address-register set (temp)
+	// Round-robin rotation counters per distinct port mask (the former
+	// rrCounter map); realistic models carry ~10 distinct masks.
+	rrMasks  []uarch.PortMask
+	rrCounts []int
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+// grow returns s resized to length n, preserving existing contents (and
+// backing capacity) wherever possible; callers reinitialize the prefix
+// they use. Same contract as depgraph's growOuter and core's grow.
+func grow[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return append(s[:cap(s)], make([]T, n-cap(s))...)
+}
+
+func containsID(ids []int32, id int32) bool {
+	for _, v := range ids {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}
+
+// rrNext returns the rotation counter for mask and advances it.
+func (s *scratch) rrNext(mask uarch.PortMask) int {
+	for i, m := range s.rrMasks {
+		if m == mask {
+			c := s.rrCounts[i]
+			s.rrCounts[i]++
+			return c
+		}
+	}
+	s.rrMasks = append(s.rrMasks, mask)
+	s.rrCounts = append(s.rrCounts, 1)
+	return 0
+}
+
 // Predict runs the baseline timeline model for the block and returns the
 // predicted steady-state cycles per iteration.
 func Predict(b *isa.Block, m *uarch.Model, p Params) (*Result, error) {
@@ -82,20 +147,21 @@ func Predict(b *isa.Block, m *uarch.Model, p Params) (*Result, error) {
 	if p.DispatchWidth <= 0 {
 		p.DispatchWidth = 4
 	}
-	type sInstr struct {
-		desc      uarch.Desc
-		dataReads []isa.RegKey
-		writes    []isa.RegKey
-		lat       float64
-	}
-	static := make([]sInstr, len(b.Instrs))
+	s := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(s)
+	s.interner.Reset()
+	s.effects.Reset()
+	s.rrMasks, s.rrCounts = s.rrMasks[:0], s.rrCounts[:0]
+
+	s.static = grow(s.static, len(b.Instrs))
+	static := s.static
 	for i := range b.Instrs {
 		in := &b.Instrs[i]
-		d, err := m.Lookup(in)
+		eff := isa.InstrEffectsArena(in, m.Dialect, &s.effects)
+		d, err := m.LookupEff(in, &eff)
 		if err != nil {
 			return nil, fmt.Errorf("mca: block %s instr %d (%s): %w", b.Name, i, in.Mnemonic, err)
 		}
-		eff := isa.InstrEffects(in, m.Dialect)
 		// Like LLVM-MCA, addresses are assumed ready (L1 hit model):
 		// producer chains run through register data only.
 		var lat float64
@@ -113,24 +179,27 @@ func Predict(b *isa.Block, m *uarch.Model, p Params) (*Result, error) {
 		if p.VecLatBias > 0 && isVecFP(in) {
 			lat += float64(p.VecLatBias)
 		}
-		addr := map[isa.RegKey]bool{}
+		s.addrIDs = s.addrIDs[:0]
 		for _, ops := range [][]*isa.MemOp{eff.LoadOps, eff.StoreOps} {
 			for _, mo := range ops {
 				if mo.Base.Valid() {
-					addr[mo.Base.Key()] = true
+					s.addrIDs = append(s.addrIDs, s.interner.Intern(mo.Base.Key()))
 				}
 				if mo.Index.Valid() && mo.Index.Class != isa.ClassVec {
-					addr[mo.Index.Key()] = true
+					s.addrIDs = append(s.addrIDs, s.interner.Intern(mo.Index.Key()))
 				}
 			}
 		}
-		si := sInstr{desc: d, writes: eff.Writes, lat: lat}
+		si := &static[i]
+		si.desc = d
+		si.lat = lat
+		si.writeIDs = s.interner.InternAll(si.writeIDs[:0], eff.Writes)
+		si.dataIDs = si.dataIDs[:0]
 		for _, r := range eff.Reads {
-			if !addr[r] {
-				si.dataReads = append(si.dataReads, r)
+			if id := s.interner.Intern(r); !containsID(s.addrIDs, id) {
+				si.dataIDs = append(si.dataIDs, id)
 			}
 		}
-		static[i] = si
 	}
 
 	// Like the llvm-mca CLI, the prediction is total cycles over 100
@@ -140,12 +209,17 @@ func Predict(b *isa.Block, m *uarch.Model, p Params) (*Result, error) {
 	nStatic := len(static)
 	nDyn := nStatic * meas
 
-	producer := map[isa.RegKey]int{}
-	ready := make([]float64, nDyn)
-	finish := make([]float64, nDyn)
-	ports := portsched.NewGroup(len(m.Ports))
-	rrCounter := map[uarch.PortMask]int{}
-	dispatched := make([]float64, 0, nDyn*2)
+	s.producer = grow(s.producer, s.interner.Len())
+	producer := s.producer
+	for i := range producer {
+		producer[i] = -1
+	}
+	s.ready = grow(s.ready, nDyn)
+	s.finish = grow(s.finish, nDyn)
+	ready, finish := s.ready, s.finish
+	s.ports.ResetTo(len(m.Ports))
+	ports := &s.ports
+	dispatched := s.dispatch[:0]
 
 	for dyn := 0; dyn < nDyn; dyn++ {
 		si := dyn % nStatic
@@ -163,8 +237,8 @@ func Predict(b *isa.Block, m *uarch.Model, p Params) (*Result, error) {
 		}
 
 		opReady := disp
-		for _, r := range st.dataReads {
-			if pd, ok := producer[r]; ok && ready[pd] > opReady {
+		for _, r := range st.dataIDs {
+			if pd := producer[r]; pd >= 0 && ready[pd] > opReady {
 				opReady = ready[pd]
 			}
 		}
@@ -180,12 +254,11 @@ func Predict(b *isa.Block, m *uarch.Model, p Params) (*Result, error) {
 				// Static resource-group rotation: the port is chosen by
 				// counter, not by availability (an immature scheduler
 				// model's behaviour).
-				idx := u.Ports.Indices()
-				port := idx[rrCounter[u.Ports]%len(idx)]
-				rrCounter[u.Ports]++
+				idx := m.PortIndices(u.Ports)
+				port := idx[s.rrNext(u.Ports)%len(idx)]
 				t = ports.ScheduleOn(port, opReady, occ)
 			} else {
-				_, t = ports.ScheduleBest(u.Ports.Indices(), opReady, occ)
+				_, t = ports.ScheduleBest(m.PortIndices(u.Ports), opReady, occ)
 			}
 			if t > startMax {
 				startMax = t
@@ -202,10 +275,11 @@ func Predict(b *isa.Block, m *uarch.Model, p Params) (*Result, error) {
 		}
 		finish[dyn] = fin
 
-		for _, w := range st.writes {
-			producer[w] = dyn
+		for _, w := range st.writeIDs {
+			producer[w] = int32(dyn)
 		}
 	}
+	s.dispatch = dispatched
 
 	total := finish[nDyn-1]
 	if total <= 0 {

@@ -50,6 +50,11 @@ func simConfigKey(cfg sim.Config) string {
 // model, block content). With a store attached, results persist across
 // processes in core.Result's stable wire form; a warm decode reattaches
 // the requesting block and model, whose content the key already pins.
+//
+// Cold computations draw analysis scratch from core's internal
+// sync.Pool, so concurrent pipeline jobs (and the serve tier routing
+// through this function) share arenas safely; the memoized Result never
+// aliases pooled memory.
 func Analyze(an *core.Analyzer, b *isa.Block, m *uarch.Model) (*core.Result, error) {
 	key := "analyze\x00" + an.Fingerprint() + "\x00" + m.Key + "\x00" + BlockKey(b)
 	return doStored(shared, key,

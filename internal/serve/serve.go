@@ -125,7 +125,10 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// analyze runs one request through the memoized pipeline path.
+// analyze runs one request through the memoized pipeline path. Memo
+// misses compute on pooled core.Scratch arenas (core.Analyze draws from
+// an internal sync.Pool), so any number of concurrent requests share
+// scratch safely without per-request allocation storms.
 func (s *Server) analyze(req AnalyzeRequest) (*AnalyzeResponse, error) {
 	if req.Arch == "" {
 		return nil, errors.New("missing arch")

@@ -108,11 +108,11 @@ func Compile(b *isa.Block, m *uarch.Model) (*Program, error) {
 	effs := make([]InstrEffectsView, n)
 	for i := range b.Instrs {
 		in := &b.Instrs[i]
-		d, err := m.Lookup(in)
+		eff := isa.InstrEffects(in, m.Dialect)
+		d, err := m.LookupEff(in, &eff)
 		if err != nil {
 			return nil, fmt.Errorf("sim: block %s instr %d (%s): %w", b.Name, i, in.Mnemonic, err)
 		}
-		eff := isa.InstrEffects(in, m.Dialect)
 		effs[i] = InstrEffectsView{LoadOps: eff.LoadOps, StoreOps: eff.StoreOps}
 
 		pi := &p.instrs[i]
@@ -148,7 +148,9 @@ func Compile(b *isa.Block, m *uarch.Model) (*Program, error) {
 		slots := 0
 		for _, u := range d.Uops {
 			cu := pUop{cycles: u.Cycles, kind: u.Kind}
-			if idx := u.Ports.Indices(); len(idx) > 0 {
+			// The model's precompiled (shared, read-only) index tables
+			// replace a per-µ-op allocation.
+			if idx := m.PortIndices(u.Ports); len(idx) > 0 {
 				cu.cand = idx
 				slots++
 			}

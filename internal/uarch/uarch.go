@@ -17,6 +17,7 @@ package uarch
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"strings"
 
 	"incore/internal/isa"
@@ -38,14 +39,20 @@ func (m PortMask) Count() int {
 }
 
 // Indices returns the port indices in the mask in ascending order.
+// Allocation-sensitive callers should prefer AppendIndices or the
+// precompiled Model.PortIndices tables.
 func (m PortMask) Indices() []int {
-	var out []int
-	for i := 0; i < 32; i++ {
-		if m.Has(i) {
-			out = append(out, i)
-		}
+	return m.AppendIndices(nil)
+}
+
+// AppendIndices appends the mask's port indices in ascending order to dst
+// and returns the extended slice; with sufficient capacity it does not
+// allocate.
+func (m PortMask) AppendIndices(dst []int) []int {
+	for v := m; v != 0; v &= v - 1 {
+		dst = append(dst, bits.TrailingZeros32(uint32(v)))
 	}
-	return out
+	return dst
 }
 
 // Uop is one micro-operation: it occupies one of the candidate Ports for
@@ -115,7 +122,7 @@ type Entry struct {
 // the entry were the only instruction executing (best case, perfect
 // balancing).
 func (e *Entry) rtpCycles() float64 {
-	load := map[int]float64{}
+	var load [32]float64
 	for _, u := range e.Uops {
 		// Distribute each µ-op evenly over its candidate ports.
 		n := u.Ports.Count()
@@ -123,8 +130,8 @@ func (e *Entry) rtpCycles() float64 {
 			continue
 		}
 		share := u.Cycles / float64(n)
-		for _, p := range u.Ports.Indices() {
-			load[p] += share
+		for v := u.Ports; v != 0; v &= v - 1 {
+			load[bits.TrailingZeros32(uint32(v))] += share
 		}
 	}
 	maxLoad := 0.0
@@ -182,6 +189,10 @@ type Model struct {
 	Entries []Entry
 
 	index map[entryKey]*Entry
+	// portIdx precompiles mask→ascending-indices for every mask a Lookup
+	// can emit (entry µ-ops plus the synthesized memory-µ-op masks), so
+	// hot paths resolve candidate ports without allocating.
+	portIdx map[PortMask][]int
 }
 
 type entryKey struct {
@@ -210,7 +221,8 @@ func (m *Model) PortsByName(names ...string) PortMask {
 	return mask
 }
 
-// buildIndex populates the lookup index; called by the registry.
+// buildIndex populates the lookup index and the precompiled port tables;
+// called by the registry.
 func (m *Model) buildIndex() {
 	m.index = make(map[entryKey]*Entry, len(m.Entries))
 	for i := range m.Entries {
@@ -221,6 +233,35 @@ func (m *Model) buildIndex() {
 		}
 		m.index[k] = e
 	}
+	m.portIdx = make(map[PortMask][]int)
+	addMask := func(mask PortMask) {
+		if mask == 0 {
+			return
+		}
+		if _, ok := m.portIdx[mask]; !ok {
+			m.portIdx[mask] = mask.Indices()
+		}
+	}
+	for i := range m.Entries {
+		for _, u := range m.Entries[i].Uops {
+			addMask(u.Ports)
+		}
+	}
+	addMask(m.LoadPorts)
+	addMask(m.WideLoadPorts)
+	addMask(m.StoreAGUPorts)
+	addMask(m.StoreDataPorts)
+}
+
+// PortIndices returns the ascending port indices of mask from the model's
+// precompiled tables, computing (and allocating) only for masks no Lookup
+// of this model ever emits. The returned slice is shared and must not be
+// mutated.
+func (m *Model) PortIndices(mask PortMask) []int {
+	if idx, ok := m.portIdx[mask]; ok {
+		return idx
+	}
+	return mask.Indices()
 }
 
 // OperandSig derives the signature string of an instruction ("v,v,v").
@@ -272,7 +313,8 @@ func vecWidthOf(in *isa.Instruction) int {
 // its µ-op list (including folded memory µ-ops on x86), latencies, and
 // classification flags.
 type Desc struct {
-	// Uops includes folded load/store µ-ops.
+	// Uops includes folded load/store µ-ops. The slice may alias the
+	// model's entry table and must be treated as read-only.
 	Uops []Uop
 	// Lat is the reg-to-reg latency of the compute part.
 	Lat int
@@ -315,6 +357,14 @@ func (e *ErrNoEntry) Error() string {
 // Lookup resolves an instruction against the model, folding x86 memory
 // operands into extra load/store µ-ops, and returns its Desc.
 func (m *Model) Lookup(in *isa.Instruction) (Desc, error) {
+	eff := isa.InstrEffects(in, m.Dialect)
+	return m.LookupEff(in, &eff)
+}
+
+// LookupEff is Lookup for callers that already computed the instruction's
+// architectural effects (depgraph builds them anyway); it avoids deriving
+// them a second time. eff must describe in under this model's dialect.
+func (m *Model) LookupEff(in *isa.Instruction, eff *isa.Effects) (Desc, error) {
 	sig := OperandSig(in)
 	width := vecWidthOf(in)
 	e := m.find(in.Mnemonic, sig, width)
@@ -322,20 +372,26 @@ func (m *Model) Lookup(in *isa.Instruction) (Desc, error) {
 		return Desc{}, &ErrNoEntry{Model: m.Key, Mnemonic: in.Mnemonic, Sig: sig, Width: width}
 	}
 
-	eff := isa.InstrEffects(in, m.Dialect)
 	if isGather(in) {
 		if g := m.find(in.Mnemonic+"@gather", sig, width); g != nil {
 			e = g
 		}
 	}
 	d := Desc{Lat: e.Lat, Entry: e, IsBranch: in.IsBranch()}
-	d.Uops = append(d.Uops, e.Uops...)
+	// The common case folds no memory µ-ops and shares the entry's list;
+	// consumers treat Desc.Uops as read-only.
+	d.Uops = e.Uops
 
 	// Fold memory operands. AArch64 entries always model their own
 	// memory µ-ops (loads/stores are dedicated instructions); x86 tables
 	// describe the register form, so synthesize the memory µ-ops here.
 	if m.Dialect == isa.DialectX86 {
-		if eff.ReadsMem() && !hasKind(e.Uops, UopLoad) {
+		foldLoad := eff.ReadsMem() && !hasKind(e.Uops, UopLoad)
+		foldStore := eff.WritesMem() && !hasKind(e.Uops, UopStoreData)
+		if foldLoad || foldStore {
+			d.Uops = append(make([]Uop, 0, len(e.Uops)+4), e.Uops...)
+		}
+		if foldLoad {
 			for _, mem := range eff.LoadOps {
 				w := memWidth(mem, width)
 				ports := m.LoadPorts
@@ -348,7 +404,7 @@ func (m *Model) Lookup(in *isa.Instruction) (Desc, error) {
 			}
 			d.LoadLat = m.LoadLat
 		}
-		if eff.WritesMem() && !hasKind(e.Uops, UopStoreData) {
+		if foldStore {
 			for _, mem := range eff.StoreOps {
 				n := m.storeUopsFor(memWidth(mem, width))
 				for i := 0; i < n; i++ {
