@@ -7,12 +7,14 @@
 //	ibench -arch zen4                     # all classes
 //	ibench -arch neoversev2 -instr vecfma # one class
 //	ibench -arch goldencove -dump-asm -instr gather
+//	ibench -machine custom.json           # benchmark a machine file
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"incore/internal/ibench"
 	"incore/internal/sim"
@@ -20,12 +22,37 @@ import (
 )
 
 func main() {
-	arch := flag.String("arch", "zen4", "machine model: goldencove, neoversev2, zen4")
+	arch := flag.String("arch", "zen4", "machine model: "+strings.Join(uarch.Keys(), ", "))
+	machineFile := flag.String("machine", "", "benchmark this JSON machine file instead of a registered model")
+	machineDir := flag.String("machine-dir", "", "register every *.json machine file in this directory before resolving -arch")
 	instr := flag.String("instr", "", "instruction class (empty: all): gather, vecadd, vecmul, vecfma, vecdiv, scalaradd, scalarmul, scalarfma, scalardiv")
 	dumpAsm := flag.Bool("dump-asm", false, "print the generated benchmark loops instead of running them")
 	flag.Parse()
 
-	m, err := uarch.Get(*arch)
+	archSet := false
+	flag.Visit(func(f *flag.Flag) { archSet = archSet || f.Name == "arch" })
+	if *machineDir != "" {
+		if _, err := uarch.LoadDir(*machineDir); err != nil {
+			fatal(err)
+		}
+	}
+	var m *uarch.Model
+	var err error
+	if *machineFile != "" {
+		f, ferr := os.Open(*machineFile)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		m, err = uarch.ReadJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err == nil && archSet && *arch != m.Key {
+			err = fmt.Errorf("-arch %q does not match machine file key %q", *arch, m.Key)
+		}
+	} else {
+		m, err = uarch.Get(*arch)
+	}
 	if err != nil {
 		fatal(err)
 	}

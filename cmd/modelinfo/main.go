@@ -1,11 +1,22 @@
 // Command modelinfo dumps a machine model: ports, frontend parameters,
-// memory pipeline, and (optionally) the full instruction table with
-// latencies, reciprocal throughputs, and port assignments — the data
-// OSACA ships as machine files.
+// memory pipeline, node-level calibration, and (optionally) the full
+// instruction table with latencies, reciprocal throughputs, and port
+// assignments — the data OSACA ships as machine files.
 //
 // Usage:
 //
+//	modelinfo                              # list registered models
+//	modelinfo -keys                        # registered keys, one per line
 //	modelinfo -arch zen4 [-instrs] [-mnemonic vaddpd]
+//	modelinfo -arch zen4 -export zen4.json # write the machine file
+//	modelinfo -machine custom.json         # inspect a machine file
+//	modelinfo -machine-dir models/ -arch mykey
+//	modelinfo -check a.json b.json ...     # validate machine files
+//
+// -check loads every named machine file, validates it, and runs one
+// smoke analysis through the in-core analyzer per loaded model, so a CI
+// gate can prove exported/edited machine files stay loadable end to end.
+// It exits non-zero on the first file that fails.
 package main
 
 import (
@@ -15,27 +26,77 @@ import (
 	"sort"
 	"strings"
 
+	"incore/internal/core"
+	"incore/internal/isa"
 	"incore/internal/uarch"
 )
 
 func main() {
 	arch := flag.String("arch", "", "machine model key (empty: list all)")
+	machineFile := flag.String("machine", "", "inspect this JSON machine file instead of a registered model")
+	machineDir := flag.String("machine-dir", "", "register every *.json machine file in this directory before resolving -arch")
+	keys := flag.Bool("keys", false, "print the registered model keys, one per line")
+	check := flag.Bool("check", false, "validate the machine files named as arguments (load + smoke analysis)")
 	instrs := flag.Bool("instrs", false, "dump the instruction table")
 	mnemonic := flag.String("mnemonic", "", "show only entries for this mnemonic")
 	export := flag.String("export", "", "write the model as a JSON machine file to this path")
 	flag.Parse()
 
-	if *arch == "" {
-		for _, m := range uarch.All() {
-			fmt.Printf("%-12s %s (%s), %d ports, %d entries\n",
-				m.Key, m.Name, m.CPU, len(m.Ports), len(m.Entries))
+	if *machineDir != "" {
+		if _, err := uarch.LoadDir(*machineDir); err != nil {
+			fmt.Fprintf(os.Stderr, "modelinfo: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *check {
+		if flag.NArg() == 0 {
+			fmt.Fprintln(os.Stderr, "modelinfo: -check needs machine-file arguments")
+			os.Exit(2)
+		}
+		for _, path := range flag.Args() {
+			if err := checkFile(path); err != nil {
+				fmt.Fprintf(os.Stderr, "modelinfo: %s: FAIL: %v\n", path, err)
+				os.Exit(1)
+			}
 		}
 		return
 	}
-	m, err := uarch.Get(*arch)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "modelinfo: %v\n", err)
-		os.Exit(1)
+	if *keys {
+		for _, k := range uarch.Keys() {
+			fmt.Println(k)
+		}
+		return
+	}
+
+	var m *uarch.Model
+	if *machineFile != "" {
+		f, err := os.Open(*machineFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "modelinfo: %v\n", err)
+			os.Exit(1)
+		}
+		m, err = uarch.ReadJSON(f)
+		f.Close()
+		if err == nil && *arch != "" && *arch != m.Key {
+			err = fmt.Errorf("-arch %q does not match machine file key %q", *arch, m.Key)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "modelinfo: %v\n", err)
+			os.Exit(1)
+		}
+	} else if *arch == "" {
+		for _, rm := range uarch.All() {
+			fmt.Printf("%-12s %s (%s), %d ports, %d entries\n",
+				rm.Key, rm.Name, rm.CPU, len(rm.Ports), len(rm.Entries))
+		}
+		return
+	} else {
+		var err error
+		m, err = uarch.Get(*arch)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "modelinfo: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	if *export != "" {
 		f, err := os.Create(*export)
@@ -55,6 +116,10 @@ func main() {
 		return
 	}
 	fmt.Printf("%s — %s (%s, %s)\n", m.Key, m.Name, m.CPU, m.Vendor)
+	fmt.Printf("fingerprint: %s\n", m.Fingerprint())
+	if ck := m.CacheKey(); ck != m.Key {
+		fmt.Printf("cache key: %s\n", ck)
+	}
 	fmt.Printf("ports (%d): %s\n", len(m.Ports), strings.Join(m.Ports, " "))
 	fmt.Printf("frontend: decode %d, issue %d µops/cy, retire %d, ROB %d, scheduler %d\n",
 		m.DecodeWidth, m.IssueWidth, m.RetireWidth, m.ROBSize, m.SchedSize)
@@ -68,6 +133,19 @@ func main() {
 		m.VecWidth, m.FPVectorUnits, m.IntUnits)
 	fmt.Printf("chip: %d cores, %.2f GHz base / %.2f GHz max\n",
 		m.CoresPerChip, m.BaseFreqGHz, m.MaxFreqGHz)
+	if np := m.Node; np != nil {
+		fmt.Printf("node: %.1f GB/s sustained, %d flops/cy/core", np.MemBWGBs, np.FlopsPerCycle)
+		if np.ECM != nil {
+			fmt.Printf(", ECM %g/%g B/cy", np.ECM.L1L2BytesPerCycle, np.ECM.L2L3BytesPerCycle)
+		}
+		if np.Freq != nil {
+			fmt.Printf(", governor TDP %.0f W", np.Freq.TDPWatts)
+			if np.Freq.WidestVectorExt != "" {
+				fmt.Printf(" (widest %s)", np.Freq.WidestVectorExt)
+			}
+		}
+		fmt.Println()
+	}
 
 	if !*instrs && *mnemonic == "" {
 		return
@@ -96,6 +174,55 @@ func main() {
 		fmt.Printf("%-16s %-10s %5d %4d %6.2f  %s\n",
 			e.Mnemonic, e.Sig, e.Width, e.Lat, rtp, strings.Join(ports, " "))
 	}
+}
+
+// smokeBlocks are minimal per-dialect loop bodies every plausible
+// machine model can describe; -check runs one through the analyzer to
+// prove a loaded file works end to end, not just structurally.
+var smokeBlocks = map[isa.Dialect]string{
+	isa.DialectX86:     "\taddq $8, %rax\n\tcmpq %rbx, %rax\n\tjb .L0\n",
+	isa.DialectAArch64: "\tadd x0, x0, #8\n\tcmp x0, x1\n\tb.lt .L0\n",
+}
+
+// checkFile validates one machine file: parse + Validate (ReadJSON), a
+// write→read round trip that must preserve the fingerprint, and one
+// smoke analysis.
+func checkFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	m, err := uarch.ReadJSON(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	var buf strings.Builder
+	if err := m.WriteJSON(&buf); err != nil {
+		return err
+	}
+	reloaded, err := uarch.ReadJSON(strings.NewReader(buf.String()))
+	if err != nil {
+		return fmt.Errorf("re-load of canonical form: %w", err)
+	}
+	if reloaded.Fingerprint() != m.Fingerprint() {
+		return fmt.Errorf("fingerprint not stable across round trip: %s vs %s", m.Fingerprint(), reloaded.Fingerprint())
+	}
+	src, ok := smokeBlocks[m.Dialect]
+	if !ok {
+		return fmt.Errorf("no smoke block for dialect %v", m.Dialect)
+	}
+	b, err := isa.ParseBlock("smoke", m.Key, m.Dialect, src)
+	if err != nil {
+		return err
+	}
+	res, err := core.New().Analyze(b, m)
+	if err != nil {
+		return fmt.Errorf("smoke analysis: %w", err)
+	}
+	fmt.Printf("OK %s: %s fingerprint=%s cache-key=%s smoke=%.2f cy/it\n",
+		path, m.Key, m.Fingerprint()[:12], m.CacheKey(), res.Prediction)
+	return nil
 }
 
 func portNames(m *uarch.Model, mask uarch.PortMask) string {

@@ -9,7 +9,14 @@
 // Usage:
 //
 //	osaca -arch goldencove|neoversev2|zen4 [-compare] [-sim] [-ecm MEM] [-nt] file.s
+//	osaca -machine custom.json [-sim] [-ecm MEM] file.s
+//	osaca -machine-dir models/ -arch mykey file.s
 //	echo "..." | osaca -arch zen4 -
+//
+// -machine analyzes against a JSON machine file directly (the file's key
+// may shadow a built-in: results are cached under the file's content
+// fingerprint, never the built-in's). -machine-dir registers every
+// machine file in a directory, making their keys available to -arch.
 package main
 
 import (
@@ -29,8 +36,9 @@ import (
 )
 
 func main() {
-	arch := flag.String("arch", "goldencove", "machine model: goldencove, neoversev2, zen4")
-	modelFile := flag.String("model", "", "load a custom JSON machine file instead of a built-in model")
+	arch := flag.String("arch", "goldencove", "machine model: "+strings.Join(uarch.Keys(), ", "))
+	machineFile := flag.String("machine", "", "analyze against this JSON machine file instead of a registered model")
+	machineDir := flag.String("machine-dir", "", "register every *.json machine file in this directory before resolving -arch")
 	compare := flag.Bool("compare", false, "also run the LLVM-MCA-style baseline")
 	simulate := flag.Bool("sim", false, "also run the core simulator (simulated measurement)")
 	ecmLevel := flag.String("ecm", "", "ECM prediction for a working set in L1|L2|L3|MEM")
@@ -59,15 +67,31 @@ func main() {
 		fatal(err)
 	}
 
+	archSet := false
+	flag.Visit(func(f *flag.Flag) { archSet = archSet || f.Name == "arch" })
+	if *machineDir != "" {
+		if _, err := uarch.LoadDir(*machineDir); err != nil {
+			fatal(err)
+		}
+	}
 	var m *uarch.Model
-	if *modelFile != "" {
-		f, ferr := os.Open(*modelFile)
+	if *machineFile != "" {
+		// Used directly, not registered: a machine file may share a
+		// built-in's key (the exported-then-edited workflow) and still
+		// gets its own fingerprinted cache identity.
+		f, ferr := os.Open(*machineFile)
 		if ferr != nil {
 			fatal(ferr)
 		}
 		m, err = uarch.ReadJSON(f)
 		if cerr := f.Close(); err == nil {
 			err = cerr
+		}
+		// -arch defaults to goldencove, so only an explicit -arch can
+		// contradict the machine file; mirror the serve endpoint's
+		// mismatch rejection instead of silently preferring the file.
+		if err == nil && archSet && *arch != m.Key {
+			err = fmt.Errorf("-arch %q does not match machine file key %q", *arch, m.Key)
 		}
 	} else {
 		m, err = uarch.Get(*arch)
@@ -145,7 +169,7 @@ func runECM(b *isa.Block, m *uarch.Model, res *core.Result, levelName string, nt
 	default:
 		return fmt.Errorf("ecm: unknown level %q (want L1|L2|L3|MEM)", levelName)
 	}
-	em, err := ecm.For(m.Key)
+	em, err := ecm.ForModel(m)
 	if err != nil {
 		return err
 	}

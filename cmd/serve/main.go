@@ -6,16 +6,24 @@
 //
 // Usage:
 //
-//	serve [-addr :8080] [-cache-dir DIR] [-j N] [-cpuprofile FILE] [-memprofile FILE]
+//	serve [-addr :8080] [-cache-dir DIR] [-j N] [-machine FILE ...] [-machine-dir DIR]
+//	      [-cpuprofile FILE] [-memprofile FILE]
+//
+// -machine (repeatable) and -machine-dir register JSON machine files at
+// startup, so their keys serve alongside the built-ins; clients can also
+// register models at runtime via POST /v1/models or send inline
+// "machine" objects on analyze/batch requests.
 //
 // With -cpuprofile/-memprofile, runtime/pprof profiles cover the serving
 // window and are written on graceful shutdown (SIGINT/SIGTERM).
 //
 // Endpoints:
 //
-//	POST /v1/analyze  {"arch":"zen4","asm":"...","name":"..."}
+//	POST /v1/analyze  {"arch":"zen4","asm":"...","name":"..."} or {"machine":{...},"asm":"..."}
 //	POST /v1/batch    {"requests":[{...},{...}]}
 //	GET  /v1/models
+//	POST /v1/models   (body: machine-file JSON)
+//	GET  /v1/models/{key}
 //	GET  /healthz
 //
 // Example:
@@ -38,15 +46,41 @@ import (
 	"incore/internal/pipeline"
 	"incore/internal/profiling"
 	"incore/internal/serve"
+	"incore/internal/uarch"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	cacheDir := flag.String("cache-dir", "", "persistent result store directory (empty = process-local cache only)")
 	workers := flag.Int("j", 0, "pipeline workers for batch requests (0 = GOMAXPROCS)")
+	var machineFiles []string
+	flag.Func("machine", "register this JSON machine file at startup (repeatable)", func(path string) error {
+		machineFiles = append(machineFiles, path)
+		return nil
+	})
+	machineDir := flag.String("machine-dir", "", "register every *.json machine file in this directory at startup")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the serving window to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on shutdown")
 	flag.Parse()
+
+	if *machineDir != "" {
+		models, err := uarch.LoadDir(*machineDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+			os.Exit(1)
+		}
+		for _, m := range models {
+			log.Printf("serve: registered %s (%s)", m.Key, m.Fingerprint()[:12])
+		}
+	}
+	for _, path := range machineFiles {
+		m, err := uarch.LoadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+			os.Exit(1)
+		}
+		log.Printf("serve: registered %s (%s)", m.Key, m.Fingerprint()[:12])
+	}
 
 	stopProfiles, err := profiling.Start(*cpuprofile, *memprofile)
 	if err != nil {

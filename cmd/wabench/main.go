@@ -23,10 +23,11 @@ import (
 	"incore/internal/memsim"
 	"incore/internal/nodes"
 	"incore/internal/pipeline"
+	"incore/internal/uarch"
 )
 
 func main() {
-	arch := flag.String("arch", "all", "system: all, goldencove, neoversev2, zen4")
+	arch := flag.String("arch", "all", "system: all, "+strings.Join(uarch.Keys(), ", "))
 	nt := flag.Bool("nt", false, "use non-temporal stores")
 	sweep := flag.Bool("sweep-threshold", false, "SpecI2M threshold ablation (goldencove)")
 	workers := flag.Int("j", 1, "pipeline workers (0 = GOMAXPROCS)")

@@ -13,6 +13,8 @@
 // Entry points:
 //
 //   - internal/core: the in-core analyzer (the paper's contribution)
+//   - internal/uarch: the machine-model registry (content-fingerprinted,
+//     runtime-extensible via JSON machine files)
 //   - internal/sim: the simulated "hardware"
 //   - internal/experiments: one runner per paper table/figure
 //   - internal/store: persistent content-addressed result store

@@ -1,7 +1,7 @@
 // What-if modeling with custom machine files.
 //
 // The point of having editable machine models (cmd/modelinfo -export +
-// cmd/osaca -model) is design-space exploration: what would a kernel gain
+// cmd/osaca -machine) is design-space exploration: what would a kernel gain
 // if the microarchitecture changed? This example clones the Zen 4 model
 // in memory, applies two hypothetical modifications —
 //
@@ -52,6 +52,12 @@ func main() {
 	twoStores.Ports = append(twoStores.Ports, "SD2")
 	twoStores.StoreDataPorts |= 1 << uint(len(twoStores.Ports)-1)
 	twoStores.StoreAGUPorts |= 1 << uint(twoStores.PortIndex("AGU1"))
+	// Reindex refreshes the lookup tables and the content fingerprint,
+	// so the variant's CacheKey reflects the mutation and its cached
+	// results can never collide with the real zen4's.
+	if err := twoStores.Reindex(); err != nil {
+		log.Fatal(err)
+	}
 
 	// Variant 2: full 512-bit datapath — 512-bit entries become single
 	// µ-ops (drop the double-pumping) and wide loads/stores pass whole.
@@ -66,6 +72,9 @@ func main() {
 		if e.Width == 512 && len(e.Uops) == 2 && e.Uops[0].Ports == e.Uops[1].Ports {
 			e.Uops = e.Uops[:1]
 		}
+	}
+	if err := native512.Reindex(); err != nil {
+		log.Fatal(err)
 	}
 
 	an := core.New()

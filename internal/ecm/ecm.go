@@ -42,7 +42,6 @@ import (
 	"strings"
 
 	"incore/internal/core"
-	"incore/internal/nodes"
 	"incore/internal/uarch"
 )
 
@@ -90,7 +89,6 @@ type Levels struct {
 type Model struct {
 	Key  string
 	Core *uarch.Model
-	Node *nodes.Node
 	BW   Levels
 	// Overlap[i] reports whether transfer level i (0=L1L2, 1=L2L3,
 	// 2=L3Mem) overlaps with the rest of the data chain (true for the
@@ -100,41 +98,36 @@ type Model struct {
 	FreqGHz float64
 }
 
-// For returns the ECM machine model for a microarchitecture key.
-// Bandwidths follow vendor documentation scaled to double-precision
-// streaming (half-duplex evict+fill accounting as in the ECM literature).
+// For returns the ECM machine model for a registered microarchitecture
+// key. The transfer-chain calibration comes from the machine model's
+// node-level section (uarch.NodeParams), so runtime-registered machine
+// files get node-level predictions exactly like the built-ins.
 func For(key string) (*Model, error) {
 	cm, err := uarch.Get(key)
 	if err != nil {
 		return nil, err
 	}
-	n, err := nodes.Get(key)
-	if err != nil {
-		return nil, err
+	return ForModel(cm)
+}
+
+// ForModel builds the ECM model from a machine model directly — for
+// models loaded from a file and not (or not registrably) registered,
+// e.g. what-if variants sharing a built-in key.
+func ForModel(cm *uarch.Model) (*Model, error) {
+	np := cm.Node
+	if np == nil || np.ECM == nil {
+		return nil, fmt.Errorf("ecm: model %q carries no node-level ECM parameters (machine-file \"node.ecm\" section)", cm.Key)
 	}
-	m := &Model{Key: key, Core: cm, Node: n}
-	measuredBW := n.TheoreticalBandwidthGBs() * n.StreamEfficiency // GB/s, socket
-	switch key {
-	case "goldencove":
-		m.FreqGHz = n.BaseFreqGHz
-		m.BW = Levels{L1L2: 64, L2L3: 16}
-		// Classic Intel ECM: fully non-overlapping transfer chain.
-		m.Overlap = [3]bool{false, false, false}
-	case "zen4":
-		m.FreqGHz = n.BaseFreqGHz
-		m.BW = Levels{L1L2: 32, L2L3: 32}
-		// Zen-style: L2<->L3 overlaps with the rest (victim cache).
-		m.Overlap = [3]bool{false, true, false}
-	case "neoversev2":
-		m.FreqGHz = n.BaseFreqGHz
-		m.BW = Levels{L1L2: 32, L2L3: 32}
-		// Arm-style: transfers overlap with each other except the
-		// memory level.
-		m.Overlap = [3]bool{true, true, false}
-	default:
-		return nil, fmt.Errorf("ecm: no machine model for %q", key)
-	}
-	m.BW.L3Mem = measuredBW / m.FreqGHz // bytes per core-clock cycle, socket
+	m := &Model{Key: cm.Key, Core: cm}
+	// Cycle counts refer to the guaranteed sustained (base) clock, the
+	// ECM literature's convention for saturation estimates.
+	m.FreqGHz = cm.BaseFreqGHz
+	m.BW = Levels{L1L2: np.ECM.L1L2BytesPerCycle, L2L3: np.ECM.L2L3BytesPerCycle}
+	m.Overlap = [3]bool{np.ECM.OverlapL1L2, np.ECM.OverlapL2L3, np.ECM.OverlapL3Mem}
+	// The socket-bandwidth ceiling expressed in bytes per core-clock
+	// cycle: a single core cannot move data faster than the socket;
+	// saturation is reached when n cores' combined demand hits this.
+	m.BW.L3Mem = np.MemBWGBs / m.FreqGHz
 	return m, nil
 }
 

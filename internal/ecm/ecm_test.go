@@ -88,7 +88,7 @@ func TestSaturationPoint(t *testing.T) {
 	if r.NSat < 8 || r.NSat > 20 {
 		t.Errorf("SPR triad saturation at %d cores, expected ~a dozen", r.NSat)
 	}
-	curve := r.ScalingCurve(m.Node.Cores)
+	curve := r.ScalingCurve(m.Core.CoresPerChip)
 	// The curve must flatten at the bandwidth ceiling.
 	last := curve[len(curve)-1]
 	ceiling := 1.0 / r.TL3Mem

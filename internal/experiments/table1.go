@@ -18,6 +18,7 @@ import (
 	"incore/internal/isa"
 	"incore/internal/nodes"
 	"incore/internal/pipeline"
+	"incore/internal/uarch"
 )
 
 // Table1Row is one system column of Table I.
@@ -74,9 +75,13 @@ func RunTable1() (*Table1, error) {
 	return &Table1{Rows: rows}, nil
 }
 
+// widestExt resolves the widest vector extension from the machine
+// model's node-level section (machine files name it explicitly).
 func widestExt(key string) isa.Ext {
-	if key == "neoversev2" {
-		return isa.ExtSVE
+	if m, err := uarch.Get(key); err == nil && m.Node != nil && m.Node.Freq != nil {
+		if ext, err := isa.ParseExt(m.Node.Freq.WidestVectorExt); err == nil {
+			return ext
+		}
 	}
 	return isa.ExtAVX512
 }

@@ -25,6 +25,7 @@ import (
 	"math"
 
 	"incore/internal/isa"
+	"incore/internal/uarch"
 )
 
 // Governor solves sustained frequency for one chip.
@@ -46,62 +47,48 @@ type Governor struct {
 	MinFreqGHz float64
 }
 
-// For returns the calibrated governor for a microarchitecture key.
+// For returns the calibrated governor for a registered microarchitecture
+// key. The calibration comes from the machine model's node-level section
+// (uarch.NodeParams.Freq), so runtime-registered machine files get
+// frequency curves exactly like the built-ins.
 func For(key string) (*Governor, error) {
-	switch key {
-	case "goldencove":
-		// Xeon Platinum 8470: single-core turbo 3.8 GHz; AVX-512
-		// license caps at 3.5 GHz and decays to 2.0 GHz at 52 cores;
-		// SSE/AVX decay to 3.0 GHz (Fig. 2).
-		return &Governor{
-			Key: key, Cores: 52, TDPWatts: 350,
-			UncoreWatts: 90, StaticWattsPerCore: 0.5,
-			ActivityFactor: map[isa.Ext]float64{
-				isa.ExtScalar: 0.155, isa.ExtSSE: 0.1667, isa.ExtAVX: 0.1667,
-				isa.ExtAVX512: 0.5625,
-			},
-			MaxFreqGHz: map[isa.Ext]float64{
-				isa.ExtScalar: 3.8, isa.ExtSSE: 3.8, isa.ExtAVX: 3.8,
-				isa.ExtAVX512: 3.5,
-			},
-			MinFreqGHz: 0.8,
-		}, nil
-	case "zen4":
-		// EPYC 9684X: 3.7 GHz boost, identical behaviour across ISA
-		// extensions, decaying to 3.1 GHz at 96 cores (84% of turbo).
-		af := 0.0948
-		return &Governor{
-			Key: key, Cores: 96, TDPWatts: 400,
-			UncoreWatts: 100, StaticWattsPerCore: 0.3,
-			ActivityFactor: map[isa.Ext]float64{
-				isa.ExtScalar: af, isa.ExtSSE: af, isa.ExtAVX: af,
-				isa.ExtAVX512: af,
-			},
-			MaxFreqGHz: map[isa.Ext]float64{
-				isa.ExtScalar: 3.7, isa.ExtSSE: 3.7, isa.ExtAVX: 3.7,
-				isa.ExtAVX512: 3.7,
-			},
-			MinFreqGHz: 0.8,
-		}, nil
-	case "neoversev2":
-		// Grace CPU Superchip: no frequency fixing available, but the
-		// chip sustains its 3.4 GHz base for any ISA mix on all 72
-		// cores — the power budget never binds.
-		af := 0.06
-		return &Governor{
-			Key: key, Cores: 72, TDPWatts: 250,
-			UncoreWatts: 50, StaticWattsPerCore: 0.2,
-			ActivityFactor: map[isa.Ext]float64{
-				isa.ExtScalar: af, isa.ExtNEON: af, isa.ExtSVE: af,
-			},
-			MaxFreqGHz: map[isa.Ext]float64{
-				isa.ExtScalar: 3.4, isa.ExtNEON: 3.4, isa.ExtSVE: 3.4,
-			},
-			MinFreqGHz: 1.0,
-		}, nil
-	default:
-		return nil, fmt.Errorf("freq: no governor for %q", key)
+	m, err := uarch.Get(key)
+	if err != nil {
+		return nil, err
 	}
+	return ForModel(m)
+}
+
+// ForModel builds the governor from a machine model directly — for
+// models loaded from a file and not (or not registrably) registered,
+// e.g. what-if variants sharing a built-in key.
+func ForModel(m *uarch.Model) (*Governor, error) {
+	if m.Node == nil || m.Node.Freq == nil {
+		return nil, fmt.Errorf("freq: model %q carries no node-level governor parameters (machine-file \"node.freq\" section)", m.Key)
+	}
+	fp := m.Node.Freq
+	g := &Governor{
+		Key: m.Key, Cores: m.CoresPerChip, TDPWatts: fp.TDPWatts,
+		UncoreWatts: fp.UncoreWatts, StaticWattsPerCore: fp.StaticWattsPerCore,
+		ActivityFactor: make(map[isa.Ext]float64, len(fp.ActivityFactor)),
+		MaxFreqGHz:     make(map[isa.Ext]float64, len(fp.MaxFreqGHz)),
+		MinFreqGHz:     fp.MinFreqGHz,
+	}
+	for name, c := range fp.ActivityFactor {
+		ext, err := isa.ParseExt(name)
+		if err != nil {
+			return nil, fmt.Errorf("freq: model %q: %w", m.Key, err)
+		}
+		g.ActivityFactor[ext] = c
+	}
+	for name, f := range fp.MaxFreqGHz {
+		ext, err := isa.ParseExt(name)
+		if err != nil {
+			return nil, fmt.Errorf("freq: model %q: %w", m.Key, err)
+		}
+		g.MaxFreqGHz[ext] = f
+	}
+	return g, nil
 }
 
 // MustFor panics on unknown keys.

@@ -209,6 +209,27 @@ func (e Ext) String() string {
 	}
 }
 
+// ParseExt resolves an extension name as produced by Ext.String — the
+// spelling machine files use for frequency-governor tables.
+func ParseExt(s string) (Ext, error) {
+	switch s {
+	case "scalar":
+		return ExtScalar, nil
+	case "sse":
+		return ExtSSE, nil
+	case "avx":
+		return ExtAVX, nil
+	case "avx512":
+		return ExtAVX512, nil
+	case "neon":
+		return ExtNEON, nil
+	case "sve":
+		return ExtSVE, nil
+	default:
+		return 0, fmt.Errorf("isa: unknown ISA extension %q", s)
+	}
+}
+
 // VectorBits returns the register width implied by the extension class,
 // or 64 for scalar code.
 func (e Ext) VectorBits() int {

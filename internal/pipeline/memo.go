@@ -51,12 +51,19 @@ func simConfigKey(cfg sim.Config) string {
 // processes in core.Result's stable wire form; a warm decode reattaches
 // the requesting block and model, whose content the key already pins.
 //
+// Models are identified by CacheKey, not bare key: an unmodified
+// built-in keeps its bare key (so stores written by earlier builds stay
+// warm), while a runtime-loaded or what-if-mutated model carries its
+// content fingerprint in the key and can never collide with a different
+// scenario that happens to share its name. The same rule applies to
+// Simulate, MCAPredict, and MeasureInstr below.
+//
 // Cold computations draw analysis scratch from core's internal
 // sync.Pool, so concurrent pipeline jobs (and the serve tier routing
 // through this function) share arenas safely; the memoized Result never
 // aliases pooled memory.
 func Analyze(an *core.Analyzer, b *isa.Block, m *uarch.Model) (*core.Result, error) {
-	key := "analyze\x00" + an.Fingerprint() + "\x00" + m.Key + "\x00" + BlockKey(b)
+	key := "analyze\x00" + an.Fingerprint() + "\x00" + m.CacheKey() + "\x00" + BlockKey(b)
 	return doStored(shared, key,
 		(*core.Result).MarshalStable,
 		func(data []byte) (*core.Result, error) { return core.UnmarshalStable(data, b, m) },
@@ -70,13 +77,13 @@ func Simulate(b *isa.Block, m *uarch.Model, cfg sim.Config) (*sim.Result, error)
 	if cfg.Trace != nil {
 		return sim.Run(b, m, cfg)
 	}
-	key := "sim\x00" + m.Key + "\x00" + simConfigKey(cfg) + "\x00" + BlockKey(b)
+	key := "sim\x00" + m.CacheKey() + "\x00" + simConfigKey(cfg) + "\x00" + BlockKey(b)
 	return doStoredJSON(shared, key, func() (*sim.Result, error) { return sim.Run(b, m, cfg) })
 }
 
 // MCAPredict memoizes mca.PredictDefault by (machine model, block content).
 func MCAPredict(b *isa.Block, m *uarch.Model) (*mca.Result, error) {
-	key := "mca\x00" + m.Key + "\x00" + BlockKey(b)
+	key := "mca\x00" + m.CacheKey() + "\x00" + BlockKey(b)
 	return doStoredJSON(shared, key, func() (*mca.Result, error) { return mca.PredictDefault(b, m) })
 }
 
@@ -86,7 +93,7 @@ func MeasureInstr(m *uarch.Model, kind ibench.Kind, cfg sim.Config) (*ibench.Res
 	if cfg.Trace != nil {
 		return ibench.Measure(m, kind, cfg)
 	}
-	key := "ibench\x00" + m.Key + "\x00" + strconv.Itoa(int(kind)) + "\x00" + simConfigKey(cfg)
+	key := "ibench\x00" + m.CacheKey() + "\x00" + strconv.Itoa(int(kind)) + "\x00" + simConfigKey(cfg)
 	return doStoredJSON(shared, key, func() (*ibench.Result, error) { return ibench.Measure(m, kind, cfg) })
 }
 

@@ -20,7 +20,7 @@ import (
 	"incore/internal/core"
 	"incore/internal/freq"
 	"incore/internal/isa"
-	"incore/internal/nodes"
+	"incore/internal/uarch"
 )
 
 // Ceiling is one horizontal line of the Roofline plot.
@@ -34,33 +34,48 @@ type Ceiling struct {
 // Model is a calibrated Roofline for one node.
 type Model struct {
 	Key      string
-	Node     *nodes.Node
+	Core     *uarch.Model
 	BWGBs    float64 // measured socket bandwidth
 	Ceilings []Ceiling
 }
 
-// For builds the node Roofline using the sustained frequency of the
-// widest vector ISA for the "realistic" ceiling.
+// For builds the node Roofline for a registered microarchitecture key,
+// using the sustained frequency of the widest vector ISA for the
+// "realistic" ceiling. The calibration comes from the machine model's
+// node-level section, so runtime-registered machine files get rooflines
+// exactly like the built-ins.
 func For(key string) (*Model, error) {
-	n, err := nodes.Get(key)
+	cm, err := uarch.Get(key)
 	if err != nil {
 		return nil, err
 	}
-	g, err := freq.For(key)
+	return ForModel(cm)
+}
+
+// ForModel builds the Roofline from a machine model directly — for
+// models loaded from a file and not (or not registrably) registered,
+// e.g. what-if variants sharing a built-in key.
+func ForModel(cm *uarch.Model) (*Model, error) {
+	np := cm.Node
+	if np == nil || np.MemBWGBs <= 0 || np.FlopsPerCycle <= 0 {
+		return nil, fmt.Errorf("roofline: model %q carries no node-level bandwidth/flops parameters (machine-file \"node\" section)", cm.Key)
+	}
+	g, err := freq.ForModel(cm)
 	if err != nil {
 		return nil, err
 	}
-	ext := isa.ExtAVX512
-	if key == "neoversev2" {
-		ext = isa.ExtSVE
+	ext, err := widestExt(np.Freq)
+	if err != nil {
+		return nil, fmt.Errorf("roofline: model %q: %w", cm.Key, err)
 	}
-	fSust, err := g.Sustained(n.Cores, ext)
+	cores := cm.CoresPerChip
+	fSust, err := g.Sustained(cores, ext)
 	if err != nil {
 		return nil, err
 	}
-	m := &Model{Key: key, Node: n, BWGBs: n.TheoreticalBandwidthGBs() * n.StreamEfficiency}
-	nominal := n.TheoreticalPeakTFs() * 1e3
-	sustained := float64(n.Cores) * float64(n.FlopsPerCycle()) * fSust
+	m := &Model{Key: cm.Key, Core: cm, BWGBs: np.MemBWGBs}
+	nominal := float64(cores) * float64(np.FlopsPerCycle) * cm.MaxFreqGHz * 1e9 / 1e12 * 1e3
+	sustained := float64(cores) * float64(np.FlopsPerCycle) * fSust
 	if sustained > nominal {
 		sustained = nominal
 	}
@@ -69,6 +84,32 @@ func For(key string) (*Model, error) {
 		{Label: fmt.Sprintf("sustained peak (%.2f GHz under vector load)", fSust), GFlops: sustained, Sustained: true},
 	}
 	return m, nil
+}
+
+// widestExt resolves the ISA class the sustained ceiling is evaluated
+// at: the machine file's widest_vector_ext when named, else the widest
+// (by vector width, then name for determinism) extension the governor
+// carries an activity factor for — so machine files that skip the
+// optional field still get a roofline.
+func widestExt(fp *uarch.FreqParams) (isa.Ext, error) {
+	if fp.WidestVectorExt != "" {
+		return isa.ParseExt(fp.WidestVectorExt)
+	}
+	best, bestName := isa.Ext(0), ""
+	for name := range fp.ActivityFactor {
+		ext, err := isa.ParseExt(name)
+		if err != nil {
+			return 0, err
+		}
+		if bestName == "" || ext.VectorBits() > best.VectorBits() ||
+			(ext.VectorBits() == best.VectorBits() && name < bestName) {
+			best, bestName = ext, name
+		}
+	}
+	if bestName == "" {
+		return 0, fmt.Errorf("governor names no ISA extensions")
+	}
+	return best, nil
 }
 
 // MustFor panics on unknown keys.
@@ -88,7 +129,7 @@ func (m *Model) AddInCoreCeiling(label string, res *core.Result, flopsPerIter in
 	perCore := float64(flopsPerIter) / res.Prediction * sustainedGHz
 	c := Ceiling{
 		Label:   fmt.Sprintf("in-core ceiling: %s", label),
-		GFlops:  perCore * float64(m.Node.Cores),
+		GFlops:  perCore * float64(m.Core.CoresPerChip),
 		PerCore: false,
 	}
 	m.Ceilings = append(m.Ceilings, c)

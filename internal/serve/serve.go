@@ -8,17 +8,29 @@
 //
 // Endpoints:
 //
-//	POST /v1/analyze  one assembly block        → AnalyzeResponse
-//	POST /v1/batch    many blocks in one call   → BatchResponse
-//	GET  /v1/models   registered machine models → []ModelInfo
-//	GET  /healthz     liveness + cache stats    → HealthResponse
+//	POST /v1/analyze       one assembly block         → AnalyzeResponse
+//	POST /v1/batch         many blocks in one call    → BatchResponse
+//	GET  /v1/models        registered machine models  → []ModelInfo
+//	POST /v1/models        register a machine file    → ModelRegistered
+//	GET  /v1/models/{key}  export one machine file    → machine-file JSON
+//	GET  /healthz          liveness + cache stats     → HealthResponse
+//
+// Machine models are content-addressed: every model has a fingerprint
+// (sha256 of its canonical machine file) and results are cached under
+// its uarch.Model.CacheKey, so a registered or inline custom machine can
+// never collide with a built-in — or another custom machine — in the
+// shared memo cache and persistent store. Analyze/batch requests may
+// carry an inline "machine" object instead of naming a registered arch.
 package serve
 
 import (
+	"bytes"
+	"crypto/sha256"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"sync"
 
 	"incore/internal/core"
 	"incore/internal/isa"
@@ -34,7 +46,14 @@ const maxRequestBytes = 4 << 20
 // AnalyzeRequest asks for an in-core analysis of one assembly block.
 type AnalyzeRequest struct {
 	// Arch selects a registered machine model key (GET /v1/models).
-	Arch string `json:"arch"`
+	Arch string `json:"arch,omitempty"`
+	// Machine optionally carries an inline JSON machine file to analyze
+	// against instead of a registered model. The inline model is used
+	// for this request only (it is not registered) and its results are
+	// cached under its content fingerprint, so it cannot collide with a
+	// registered model sharing its key. When both Arch and Machine are
+	// given, Arch must match the machine file's key.
+	Machine json.RawMessage `json:"machine,omitempty"`
 	// Asm is the assembly listing, in the model's dialect.
 	// OSACA/LLVM-MCA/IACA region markers are honored when present.
 	Asm string `json:"asm"`
@@ -89,6 +108,24 @@ type ModelInfo struct {
 	Dialect    string   `json:"dialect"`
 	Ports      []string `json:"ports"`
 	IssueWidth int      `json:"issue_width"`
+	// Fingerprint is the sha256 of the model's canonical machine file;
+	// CacheKey is the identity results are cached under (bare key for
+	// unmodified built-ins, key@fingerprint otherwise).
+	Fingerprint string `json:"fingerprint"`
+	CacheKey    string `json:"cache_key"`
+	// HasNodeParams reports whether the model carries the node-level
+	// section (ECM / frequency / roofline calibration).
+	HasNodeParams bool `json:"has_node_params"`
+}
+
+// ModelRegistered is the response to POST /v1/models.
+type ModelRegistered struct {
+	Key         string `json:"key"`
+	Fingerprint string `json:"fingerprint"`
+	CacheKey    string `json:"cache_key"`
+	// Created is false when the identical model was already registered
+	// (registration is idempotent on content).
+	Created bool `json:"created"`
 }
 
 // HealthResponse reports liveness plus the cache accounting that serves
@@ -105,15 +142,37 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
+// maxInlineModels bounds the parsed-inline-machine cache; above it the
+// cache resets rather than grows (entries are cheap to rebuild).
+const maxInlineModels = 128
+
+// maxRegisteredModels bounds how many models POST /v1/models will grow
+// the process-global registry to. Registrations are permanent for the
+// process lifetime (a key, once taken, must keep meaning one scenario),
+// so unlike the inline cache they cannot be evicted — the endpoint
+// refuses new keys beyond the cap instead of letting an unauthenticated
+// client grow the registry without bound. Inline "machine" objects are
+// unaffected.
+const maxRegisteredModels = 1024
+
 // Server handles analysis requests with one analyzer configuration.
 type Server struct {
 	an *core.Analyzer
+
+	// inlineMu guards inline, a cache of parsed inline machine files
+	// keyed by the sha256 of their raw JSON, so repeated requests
+	// carrying the same custom machine skip re-parsing and re-indexing
+	// the model on every call.
+	inlineMu sync.Mutex
+	inline   map[[sha256.Size]byte]*uarch.Model
 }
 
 // New returns a server with OSACA-like analyzer defaults — the same
 // configuration cmd/osaca and the experiment runners use, so all three
 // share cache entries.
-func New() *Server { return &Server{an: core.New()} }
+func New() *Server {
+	return &Server{an: core.New(), inline: make(map[[sha256.Size]byte]*uarch.Model)}
+}
 
 // Handler returns the route table.
 func (s *Server) Handler() http.Handler {
@@ -121,8 +180,56 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("GET /v1/models", s.handleModels)
+	mux.HandleFunc("POST /v1/models", s.handleRegisterModel)
+	mux.HandleFunc("GET /v1/models/{key}", s.handleExportModel)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
+}
+
+// inlineModel parses (or recalls) an inline machine file. Models land in
+// a small content-keyed cache: two requests with byte-identical machine
+// objects share one parsed *uarch.Model, and — because pipeline keys use
+// CacheKey — one set of cached results.
+func (s *Server) inlineModel(raw json.RawMessage) (*uarch.Model, error) {
+	h := sha256.Sum256(raw)
+	s.inlineMu.Lock()
+	m, ok := s.inline[h]
+	s.inlineMu.Unlock()
+	if ok {
+		return m, nil
+	}
+	m, err := uarch.ReadJSON(bytes.NewReader(raw))
+	if err != nil {
+		return nil, err
+	}
+	s.inlineMu.Lock()
+	if len(s.inline) >= maxInlineModels {
+		s.inline = make(map[[sha256.Size]byte]*uarch.Model)
+	}
+	// On a racing double parse the last writer wins; both models carry
+	// identical content and CacheKey, so either is fine to serve.
+	s.inline[h] = m
+	s.inlineMu.Unlock()
+	return m, nil
+}
+
+// resolveModel picks the machine model for one request: an inline
+// machine file if present, a registered key otherwise.
+func (s *Server) resolveModel(req *AnalyzeRequest) (*uarch.Model, error) {
+	if len(req.Machine) == 0 {
+		if req.Arch == "" {
+			return nil, errors.New("missing arch")
+		}
+		return uarch.Get(req.Arch)
+	}
+	m, err := s.inlineModel(req.Machine)
+	if err != nil {
+		return nil, err
+	}
+	if req.Arch != "" && req.Arch != m.Key {
+		return nil, fmt.Errorf("arch %q does not match inline machine key %q", req.Arch, m.Key)
+	}
+	return m, nil
 }
 
 // analyze runs one request through the memoized pipeline path. Memo
@@ -130,13 +237,10 @@ func (s *Server) Handler() http.Handler {
 // an internal sync.Pool), so any number of concurrent requests share
 // scratch safely without per-request allocation storms.
 func (s *Server) analyze(req AnalyzeRequest) (*AnalyzeResponse, error) {
-	if req.Arch == "" {
-		return nil, errors.New("missing arch")
-	}
 	if req.Asm == "" {
 		return nil, errors.New("missing asm")
 	}
-	m, err := uarch.Get(req.Arch)
+	m, err := s.resolveModel(&req)
 	if err != nil {
 		return nil, err
 	}
@@ -209,25 +313,80 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
-	keys := uarch.Keys()
-	infos := make([]ModelInfo, 0, len(keys))
-	for _, k := range keys {
-		m := uarch.MustGet(k)
+	models := uarch.All()
+	infos := make([]ModelInfo, 0, len(models))
+	for _, m := range models {
 		dialect := "x86"
 		if m.Dialect == isa.DialectAArch64 {
 			dialect = "aarch64"
 		}
 		infos = append(infos, ModelInfo{
-			Key:        m.Key,
-			Name:       m.Name,
-			CPU:        m.CPU,
-			Vendor:     m.Vendor,
-			Dialect:    dialect,
-			Ports:      m.Ports,
-			IssueWidth: m.IssueWidth,
+			Key:           m.Key,
+			Name:          m.Name,
+			CPU:           m.CPU,
+			Vendor:        m.Vendor,
+			Dialect:       dialect,
+			Ports:         m.Ports,
+			IssueWidth:    m.IssueWidth,
+			Fingerprint:   m.Fingerprint(),
+			CacheKey:      m.CacheKey(),
+			HasNodeParams: m.Node != nil,
 		})
 	}
 	writeJSON(w, http.StatusOK, infos)
+}
+
+// handleRegisterModel registers the machine file in the request body.
+// Registration is idempotent on content; a key collision with different
+// content is a 409 so a client can never silently repoint a key (and
+// with it the result caches other clients rely on).
+func (s *Server) handleRegisterModel(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, maxRequestBytes)
+	m, err := uarch.ReadJSON(body)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	// Approximate cap check (racy against concurrent registrations, but
+	// the bound is a resource guard, not an exact quota): only refuse
+	// keys that would grow the registry — re-registrations of known
+	// keys still resolve below so idempotent posts keep working.
+	if len(uarch.Keys()) >= maxRegisteredModels {
+		if _, err := uarch.Get(m.Key); err != nil {
+			writeJSON(w, http.StatusInsufficientStorage, errorBody{
+				Error: fmt.Sprintf("model registry is full (%d models); re-register an existing key or use an inline \"machine\" object", maxRegisteredModels),
+			})
+			return
+		}
+	}
+	// Register decides created-vs-idempotent-vs-conflict under one lock,
+	// so concurrent registrations of a key see one consistent outcome.
+	created, err := uarch.Register(m)
+	if err != nil {
+		writeJSON(w, http.StatusConflict, errorBody{Error: err.Error()})
+		return
+	}
+	status := http.StatusOK
+	if created {
+		status = http.StatusCreated
+	}
+	writeJSON(w, status, ModelRegistered{
+		Key: m.Key, Fingerprint: m.Fingerprint(), CacheKey: m.CacheKey(), Created: created,
+	})
+}
+
+// handleExportModel writes the machine file of one registered model —
+// the round-trip counterpart of POST /v1/models and cmd/modelinfo
+// -export; re-registering the exported bytes is a no-op.
+func (s *Server) handleExportModel(w http.ResponseWriter, r *http.Request) {
+	m, err := uarch.Get(r.PathValue("key"))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	m.WriteJSON(w)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

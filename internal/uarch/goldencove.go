@@ -1,6 +1,9 @@
 package uarch
 
-import "incore/internal/isa"
+import (
+	"incore/internal/isa"
+	"incore/internal/nodes"
+)
 
 // NewGoldenCove builds the machine model for Intel Golden Cove as shipped
 // in the Xeon Platinum 8470 (Sapphire Rapids). Port topology after the
@@ -38,6 +41,33 @@ func NewGoldenCove() *Model {
 		MaxFreqGHz:    3.8,
 		FPVectorUnits: 3,
 		IntUnits:      5,
+	}
+
+	// Node-level calibration (machine-file "node" section): sustained
+	// bandwidth and vendor-counted flops derive from the Table I system
+	// description; the ECM transfer chain and the frequency governor
+	// carry the values the ecm/freq packages used to hardcode.
+	tbl := nodes.MustGet("goldencove")
+	m.Node = &NodeParams{
+		MemBWGBs:      tbl.TheoreticalBandwidthGBs() * tbl.StreamEfficiency,
+		FlopsPerCycle: tbl.FlopsPerCycle(),
+		// Classic Intel ECM: fully non-overlapping transfer chain.
+		ECM: &ECMParams{L1L2BytesPerCycle: 64, L2L3BytesPerCycle: 16},
+		// Xeon Platinum 8470: single-core turbo 3.8 GHz; AVX-512
+		// license caps at 3.5 GHz and decays to 2.0 GHz at 52 cores;
+		// SSE/AVX decay to 3.0 GHz (Fig. 2).
+		Freq: &FreqParams{
+			TDPWatts: 350, UncoreWatts: 90, StaticWattsPerCore: 0.5,
+			MinFreqGHz: 0.8,
+			ActivityFactor: map[string]float64{
+				"scalar": 0.155, "sse": 0.1667, "avx": 0.1667,
+				"avx512": 0.5625,
+			},
+			MaxFreqGHz: map[string]float64{
+				"scalar": 3.8, "sse": 3.8, "avx": 3.8, "avx512": 3.5,
+			},
+			WidestVectorExt: "avx512",
+		},
 	}
 
 	p := m.PortsByName

@@ -1,7 +1,11 @@
 package uarch
 
 import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 
@@ -47,7 +51,104 @@ type machineFile struct {
 	FPVectorUnits int     `json:"fp_vector_units"`
 	IntUnits      int     `json:"int_units"`
 
+	Node *machineNode `json:"node,omitempty"`
+
 	Entries []machineEntry `json:"instructions"`
+}
+
+// machineNode is the optional node-level section: the calibration the
+// ECM model, the frequency governor, and the Roofline ceilings need
+// beyond the in-core tables (see NodeParams).
+type machineNode struct {
+	MemBWGBs      float64      `json:"mem_bandwidth_gbs,omitempty"`
+	FlopsPerCycle int          `json:"flops_per_cycle,omitempty"`
+	ECM           *machineECM  `json:"ecm,omitempty"`
+	Freq          *machineFreq `json:"freq,omitempty"`
+}
+
+type machineECM struct {
+	L1L2BytesPerCycle float64 `json:"l1_l2_bytes_per_cycle"`
+	L2L3BytesPerCycle float64 `json:"l2_l3_bytes_per_cycle"`
+	// Overlap lists the transfer levels that overlap with the rest of
+	// the data chain; any subset of "l1l2", "l2l3", "l3mem".
+	Overlap []string `json:"overlap,omitempty"`
+}
+
+type machineFreq struct {
+	TDPWatts           float64            `json:"tdp_watts"`
+	UncoreWatts        float64            `json:"uncore_watts"`
+	StaticWattsPerCore float64            `json:"static_watts_per_core"`
+	MinFreqGHz         float64            `json:"min_freq_ghz"`
+	ActivityFactor     map[string]float64 `json:"activity_factor"`
+	MaxFreqGHz         map[string]float64 `json:"max_freq_ghz"`
+	WidestVectorExt    string             `json:"widest_vector_ext,omitempty"`
+}
+
+// overlapLevelNames is the canonical writer order of machineECM.Overlap;
+// ReadJSON accepts any order.
+var overlapLevelNames = [3]string{"l1l2", "l2l3", "l3mem"}
+
+func nodeToWire(np *NodeParams) *machineNode {
+	if np == nil {
+		return nil
+	}
+	mn := &machineNode{MemBWGBs: np.MemBWGBs, FlopsPerCycle: np.FlopsPerCycle}
+	if e := np.ECM; e != nil {
+		me := &machineECM{
+			L1L2BytesPerCycle: e.L1L2BytesPerCycle,
+			L2L3BytesPerCycle: e.L2L3BytesPerCycle,
+		}
+		for i, on := range [3]bool{e.OverlapL1L2, e.OverlapL2L3, e.OverlapL3Mem} {
+			if on {
+				me.Overlap = append(me.Overlap, overlapLevelNames[i])
+			}
+		}
+		mn.ECM = me
+	}
+	if f := np.Freq; f != nil {
+		mn.Freq = &machineFreq{
+			TDPWatts: f.TDPWatts, UncoreWatts: f.UncoreWatts,
+			StaticWattsPerCore: f.StaticWattsPerCore, MinFreqGHz: f.MinFreqGHz,
+			ActivityFactor: f.ActivityFactor, MaxFreqGHz: f.MaxFreqGHz,
+			WidestVectorExt: f.WidestVectorExt,
+		}
+	}
+	return mn
+}
+
+func nodeFromWire(mn *machineNode) (*NodeParams, error) {
+	if mn == nil {
+		return nil, nil
+	}
+	np := &NodeParams{MemBWGBs: mn.MemBWGBs, FlopsPerCycle: mn.FlopsPerCycle}
+	if me := mn.ECM; me != nil {
+		e := &ECMParams{
+			L1L2BytesPerCycle: me.L1L2BytesPerCycle,
+			L2L3BytesPerCycle: me.L2L3BytesPerCycle,
+		}
+		for _, name := range me.Overlap {
+			switch name {
+			case "l1l2":
+				e.OverlapL1L2 = true
+			case "l2l3":
+				e.OverlapL2L3 = true
+			case "l3mem":
+				e.OverlapL3Mem = true
+			default:
+				return nil, fmt.Errorf("uarch: machine file: unknown ECM overlap level %q", name)
+			}
+		}
+		np.ECM = e
+	}
+	if mf := mn.Freq; mf != nil {
+		np.Freq = &FreqParams{
+			TDPWatts: mf.TDPWatts, UncoreWatts: mf.UncoreWatts,
+			StaticWattsPerCore: mf.StaticWattsPerCore, MinFreqGHz: mf.MinFreqGHz,
+			ActivityFactor: mf.ActivityFactor, MaxFreqGHz: mf.MaxFreqGHz,
+			WidestVectorExt: mf.WidestVectorExt,
+		}
+	}
+	return np, nil
 }
 
 type machineEntry struct {
@@ -106,6 +207,7 @@ func (m *Model) WriteJSON(w io.Writer) error {
 		VecWidth: m.VecWidth, CoresPerChip: m.CoresPerChip,
 		BaseFreqGHz: m.BaseFreqGHz, MaxFreqGHz: m.MaxFreqGHz,
 		FPVectorUnits: m.FPVectorUnits, IntUnits: m.IntUnits,
+		Node: nodeToWire(m.Node),
 	}
 	for _, e := range m.Entries {
 		me := machineEntry{Mnemonic: e.Mnemonic, Sig: e.Sig, Width: e.Width, Lat: e.Lat, Notes: e.Notes}
@@ -133,12 +235,28 @@ func (m *Model) maskNames(mask PortMask) []string {
 }
 
 // ReadJSON loads a machine file, validates it, and builds its lookup
-// index; the returned model is ready for use with all tools.
+// index and content fingerprint; the returned model is ready for use
+// with all tools (Register it to make it resolvable by key).
 func ReadJSON(r io.Reader) (*Model, error) {
 	var mf machineFile
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&mf); err != nil {
+		return nil, fmt.Errorf("uarch: machine file: %w", err)
+	}
+	// A machine file is exactly one JSON document: trailing data is a
+	// malformed (possibly truncated-then-concatenated) file, not noise
+	// to ignore. A non-syntax error here is the reader failing, not
+	// trailing content — surface it as itself.
+	switch _, err := dec.Token(); {
+	case err == io.EOF:
+	case err == nil:
+		return nil, fmt.Errorf("uarch: machine file: trailing data after JSON document")
+	default:
+		var syn *json.SyntaxError
+		if errors.As(err, &syn) {
+			return nil, fmt.Errorf("uarch: machine file: trailing data after JSON document")
+		}
 		return nil, fmt.Errorf("uarch: machine file: %w", err)
 	}
 	m := &Model{
@@ -174,6 +292,9 @@ func ReadJSON(r io.Reader) (*Model, error) {
 	if m.WideLoadPorts, err = m.namesMask(mf.WideLoadPorts); err != nil {
 		return nil, err
 	}
+	if m.Node, err = nodeFromWire(mf.Node); err != nil {
+		return nil, err
+	}
 	for _, me := range mf.Entries {
 		e := Entry{Mnemonic: me.Mnemonic, Sig: me.Sig, Width: me.Width, Lat: me.Lat, Notes: me.Notes}
 		e.Uops = []Uop{}
@@ -195,6 +316,21 @@ func ReadJSON(r io.Reader) (*Model, error) {
 	}
 	m.buildIndex()
 	return m, nil
+}
+
+// computeFingerprint hashes the canonical machine-file wire form. The
+// form is deterministic — struct fields encode in declaration order,
+// maps sort by key, floats use the shortest round-trippable
+// representation — so equal model content always yields equal bytes and
+// therefore equal fingerprints, across processes and builds.
+func (m *Model) computeFingerprint() string {
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		// WriteJSON only fails on writer errors; a bytes.Buffer has none.
+		panic(fmt.Sprintf("uarch: fingerprint %s: %v", m.Key, err))
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	return hex.EncodeToString(sum[:])
 }
 
 func (m *Model) namesMask(names []string) (PortMask, error) {

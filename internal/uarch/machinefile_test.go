@@ -2,6 +2,7 @@ package uarch
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -31,6 +32,20 @@ func TestMachineFileRoundTrip(t *testing.T) {
 			loaded.StoreDataPorts != orig.StoreDataPorts ||
 			loaded.WideLoadPorts != orig.WideLoadPorts {
 			t.Errorf("%s: port masks changed", orig.Key)
+		}
+		// The content fingerprint survives the round trip, which is what
+		// keeps a re-loaded built-in on the bare (warm-store-compatible)
+		// cache key.
+		if loaded.Fingerprint() != orig.Fingerprint() {
+			t.Errorf("%s: fingerprint changed across round trip", orig.Key)
+		}
+		if loaded.CacheKey() != orig.Key {
+			t.Errorf("%s: round-tripped built-in CacheKey = %q", orig.Key, loaded.CacheKey())
+		}
+		// The node-level section (ECM, governor, roofline calibration)
+		// round-trips exactly.
+		if !reflect.DeepEqual(loaded.Node, orig.Node) {
+			t.Errorf("%s: node-level parameters changed: %+v vs %+v", orig.Key, loaded.Node, orig.Node)
 		}
 		// A lookup through the reloaded model matches the original.
 		var src string
@@ -75,6 +90,29 @@ func TestMachineFileRejectsGarbage(t *testing.T) {
 		if _, err := ReadJSON(strings.NewReader(src)); err == nil {
 			t.Errorf("case %d: expected error", i)
 		}
+	}
+}
+
+// TestMachineFileRejectsTrailingData: a machine file is exactly one JSON
+// document; concatenated or truncated-then-appended files must fail
+// loudly instead of silently dropping the tail.
+func TestMachineFileRejectsTrailingData(t *testing.T) {
+	var buf bytes.Buffer
+	if err := MustGet("zen4").WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.String()
+	for _, tail := range []string{"garbage", "{}", `{"key":"x"}`, "[1,2]", "null"} {
+		if _, err := ReadJSON(strings.NewReader(valid + tail)); err == nil {
+			t.Errorf("trailing %q must be rejected", tail)
+		} else if !strings.Contains(err.Error(), "trailing data") {
+			t.Errorf("trailing %q: unexpected error: %v", tail, err)
+		}
+	}
+	// Trailing whitespace is not data; the canonical form itself ends in
+	// a newline.
+	if _, err := ReadJSON(strings.NewReader(valid + "\n\t \n")); err != nil {
+		t.Errorf("trailing whitespace must be accepted: %v", err)
 	}
 }
 

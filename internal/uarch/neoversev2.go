@@ -1,6 +1,9 @@
 package uarch
 
-import "incore/internal/isa"
+import (
+	"incore/internal/isa"
+	"incore/internal/nodes"
+)
 
 // NewNeoverseV2 builds the machine model for the Arm Neoverse V2 core as
 // shipped in the Nvidia Grace CPU Superchip. Port topology after Arm's
@@ -43,6 +46,34 @@ func NewNeoverseV2() *Model {
 		MaxFreqGHz:    3.4,
 		FPVectorUnits: 4,
 		IntUnits:      6,
+	}
+
+	// Node-level calibration (machine-file "node" section); see the
+	// Golden Cove definition for provenance.
+	tbl := nodes.MustGet("neoversev2")
+	m.Node = &NodeParams{
+		MemBWGBs:      tbl.TheoreticalBandwidthGBs() * tbl.StreamEfficiency,
+		FlopsPerCycle: tbl.FlopsPerCycle(),
+		// Arm-style: transfers overlap with each other except the
+		// memory level.
+		ECM: &ECMParams{
+			L1L2BytesPerCycle: 32, L2L3BytesPerCycle: 32,
+			OverlapL1L2: true, OverlapL2L3: true,
+		},
+		// Grace CPU Superchip: no frequency fixing available, but the
+		// chip sustains its 3.4 GHz base for any ISA mix on all 72
+		// cores — the power budget never binds.
+		Freq: &FreqParams{
+			TDPWatts: 250, UncoreWatts: 50, StaticWattsPerCore: 0.2,
+			MinFreqGHz: 1.0,
+			ActivityFactor: map[string]float64{
+				"scalar": 0.06, "neon": 0.06, "sve": 0.06,
+			},
+			MaxFreqGHz: map[string]float64{
+				"scalar": 3.4, "neon": 3.4, "sve": 3.4,
+			},
+			WidestVectorExt: "sve",
+		},
 	}
 
 	p := m.PortsByName

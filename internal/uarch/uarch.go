@@ -186,6 +186,10 @@ type Model struct {
 	FPVectorUnits int
 	IntUnits      int
 
+	// Node optionally carries node-level calibration (ECM transfer
+	// parameters, frequency governor, Roofline ceilings); see node.go.
+	Node *NodeParams
+
 	Entries []Entry
 
 	index map[entryKey]*Entry
@@ -193,6 +197,9 @@ type Model struct {
 	// can emit (entry µ-ops plus the synthesized memory-µ-op masks), so
 	// hot paths resolve candidate ports without allocating.
 	portIdx map[PortMask][]int
+	// fingerprint is the sha256 hex of the canonical machine-file wire
+	// form, computed at buildIndex time; see Fingerprint.
+	fingerprint string
 }
 
 type entryKey struct {
@@ -251,6 +258,49 @@ func (m *Model) buildIndex() {
 	addMask(m.WideLoadPorts)
 	addMask(m.StoreAGUPorts)
 	addMask(m.StoreDataPorts)
+	m.fingerprint = m.computeFingerprint()
+}
+
+// Reindex revalidates the model and rebuilds its lookup index, port
+// tables, and content fingerprint. Call it after mutating a model in
+// place (what-if studies), so lookups and CacheKey reflect the mutation.
+func (m *Model) Reindex() error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	m.buildIndex()
+	return nil
+}
+
+// Fingerprint returns the model's content fingerprint: the sha256 hex
+// digest of its canonical machine-file wire form (WriteJSON bytes). Two
+// models have equal fingerprints exactly when their machine files are
+// byte-identical, so a fingerprint names the full modeled scenario —
+// port tables, latencies, frontend, and node-level parameters alike.
+//
+// Models that went through buildIndex (registry construction, Register,
+// ReadJSON, Reindex) carry a precomputed fingerprint; for a hand-built
+// model the first call computes and caches it, which is not safe to race
+// with concurrent use — index such models first.
+func (m *Model) Fingerprint() string {
+	if m.fingerprint == "" {
+		m.fingerprint = m.computeFingerprint()
+	}
+	return m.fingerprint
+}
+
+// CacheKey returns the identity under which pipeline and store entries
+// for this model are filed. For a model whose content is byte-identical
+// to the compiled-in model of the same key it is the bare key — so
+// warm stores written by earlier builds stay valid — and
+// "key@fingerprint" for everything else, so a runtime-loaded or mutated
+// model can never poison cached results of a different scenario sharing
+// its key.
+func (m *Model) CacheKey() string {
+	if fp, ok := builtinFingerprint(m.Key); ok && fp == m.Fingerprint() {
+		return m.Key
+	}
+	return m.Key + "@" + m.Fingerprint()
 }
 
 // PortIndices returns the ascending port indices of mask from the model's

@@ -42,10 +42,8 @@ func TestPortMaskCountQuick(t *testing.T) {
 }
 
 func TestRegistry(t *testing.T) {
-	keys := Keys()
-	if len(keys) != 3 {
-		t.Fatalf("want 3 models, got %v", keys)
-	}
+	// The registry is mutable (other tests may have registered models),
+	// but the three compiled-in microarchitectures are always present.
 	for _, k := range []string{"goldencove", "neoversev2", "zen4"} {
 		m, err := Get(k)
 		if err != nil {
@@ -58,8 +56,14 @@ func TestRegistry(t *testing.T) {
 	if _, err := Get("nonesuch"); err == nil {
 		t.Error("unknown key must error")
 	}
-	if len(All()) != 3 {
-		t.Error("All() must return 3 models")
+	keys := Keys()
+	if len(keys) < 3 || len(All()) != len(keys) {
+		t.Errorf("inconsistent registry views: %d keys, %d models", len(keys), len(All()))
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Errorf("Keys() not sorted: %v", keys)
+		}
 	}
 }
 

@@ -12,6 +12,19 @@ func (m *Model) Validate() error {
 	if len(m.Ports) == 0 || len(m.Ports) > 32 {
 		return fmt.Errorf("uarch: model %s: %d ports out of range", m.Key, len(m.Ports))
 	}
+	// Port names must be unique: machine files reference ports by name,
+	// and a duplicate would make that resolution ambiguous (the first
+	// occurrence would silently win).
+	seenName := make(map[string]bool, len(m.Ports))
+	for _, p := range m.Ports {
+		if p == "" {
+			return fmt.Errorf("uarch: model %s: empty port name", m.Key)
+		}
+		if seenName[p] {
+			return fmt.Errorf("uarch: model %s: duplicate port name %q", m.Key, p)
+		}
+		seenName[p] = true
+	}
 	allPorts := PortMask(1<<uint(len(m.Ports))) - 1
 	checkMask := func(what string, mask PortMask) error {
 		if mask == 0 {
@@ -42,6 +55,9 @@ func (m *Model) Validate() error {
 	}
 	if m.VecWidth != 128 && m.VecWidth != 256 && m.VecWidth != 512 {
 		return fmt.Errorf("uarch: model %s: unexpected vector width %d", m.Key, m.VecWidth)
+	}
+	if err := m.validateNode(); err != nil {
+		return err
 	}
 	seen := map[entryKey]bool{}
 	for i := range m.Entries {

@@ -1,6 +1,9 @@
 package uarch
 
-import "incore/internal/isa"
+import (
+	"incore/internal/isa"
+	"incore/internal/nodes"
+)
 
 // NewZen4 builds the machine model for AMD Zen 4 as shipped in the EPYC
 // 9684X (Genoa-X). Port topology: 4 integer ALUs, 3 AGUs (2 usable for
@@ -41,6 +44,33 @@ func NewZen4() *Model {
 		MaxFreqGHz:    3.7,
 		FPVectorUnits: 4,
 		IntUnits:      4,
+	}
+
+	// Node-level calibration (machine-file "node" section); see the
+	// Golden Cove definition for provenance.
+	tbl := nodes.MustGet("zen4")
+	m.Node = &NodeParams{
+		MemBWGBs:      tbl.TheoreticalBandwidthGBs() * tbl.StreamEfficiency,
+		FlopsPerCycle: tbl.FlopsPerCycle(),
+		// Zen-style: L2<->L3 overlaps with the rest (victim cache).
+		ECM: &ECMParams{
+			L1L2BytesPerCycle: 32, L2L3BytesPerCycle: 32,
+			OverlapL2L3: true,
+		},
+		// EPYC 9684X: 3.7 GHz boost, identical behaviour across ISA
+		// extensions, decaying to 3.1 GHz at 96 cores (84% of turbo).
+		Freq: &FreqParams{
+			TDPWatts: 400, UncoreWatts: 100, StaticWattsPerCore: 0.3,
+			MinFreqGHz: 0.8,
+			ActivityFactor: map[string]float64{
+				"scalar": 0.0948, "sse": 0.0948, "avx": 0.0948,
+				"avx512": 0.0948,
+			},
+			MaxFreqGHz: map[string]float64{
+				"scalar": 3.7, "sse": 3.7, "avx": 3.7, "avx512": 3.7,
+			},
+			WidestVectorExt: "avx512",
+		},
 	}
 
 	p := m.PortsByName
