@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	osaca -arch goldencove|neoversev2|zen4 [-compare] [-sim] [-ecm MEM] [-nt] file.s
+//	osaca -arch goldencove|neoversev2|zen4 [-compare] [-sim] [-ecm MEM] [-nt] [-strict] file.s
 //	osaca -machine custom.json [-sim] [-ecm MEM] file.s
 //	osaca -machine-dir models/ -arch mykey file.s
 //	echo "..." | osaca -arch zen4 -
@@ -17,6 +17,10 @@
 // may shadow a built-in: results are cached under the file's content
 // fingerprint, never the built-in's). -machine-dir registers every
 // machine file in a directory, making their keys available to -arch.
+//
+// Instructions outside the model's tables degrade to a conservative
+// synthesized descriptor and the report gains a coverage footer; pass
+// -strict to reject such blocks with an error instead.
 package main
 
 import (
@@ -43,6 +47,7 @@ func main() {
 	simulate := flag.Bool("sim", false, "also run the core simulator (simulated measurement)")
 	ecmLevel := flag.String("ecm", "", "ECM prediction for a working set in L1|L2|L3|MEM")
 	nt := flag.Bool("nt", false, "assume non-temporal stores (no write-allocate) in the ECM prediction")
+	strict := flag.Bool("strict", false, "error on instructions outside the model's tables instead of degrading to conservative descriptors")
 	traceFile := flag.String("trace", "", "write a Chrome trace of the simulation to this file (implies -sim)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation (heap) profile to this file")
@@ -103,7 +108,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	res, err := core.New().Analyze(b, m)
+	an := core.New()
+	if *strict {
+		an.Opt.DegradeUnknown = false
+	}
+	res, err := an.Analyze(b, m)
 	if err != nil {
 		fatal(err)
 	}

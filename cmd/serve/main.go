@@ -7,6 +7,7 @@
 // Usage:
 //
 //	serve [-addr :8080] [-cache-dir DIR] [-j N] [-machine FILE ...] [-machine-dir DIR]
+//	      [-max-body BYTES] [-max-instrs N] [-analysis-timeout D]
 //	      [-cpuprofile FILE] [-memprofile FILE]
 //
 // -machine (repeatable) and -machine-dir register JSON machine files at
@@ -59,6 +60,9 @@ func main() {
 		return nil
 	})
 	machineDir := flag.String("machine-dir", "", "register every *.json machine file in this directory at startup")
+	maxBody := flag.Int64("max-body", serve.DefaultMaxBodyBytes, "request body size cap in bytes (413 beyond)")
+	maxInstrs := flag.Int("max-instrs", serve.DefaultMaxBlockInstrs, "per-block instruction cap (413 beyond)")
+	analysisTimeout := flag.Duration("analysis-timeout", serve.DefaultAnalysisTimeout, "per-block analysis deadline (503 beyond; negative disables)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the serving window to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on shutdown")
 	flag.Parse()
@@ -100,8 +104,12 @@ func main() {
 	}
 
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           serve.New().Handler(),
+		Addr: *addr,
+		Handler: serve.NewWithOptions(serve.Options{
+			MaxBodyBytes:    *maxBody,
+			MaxBlockInstrs:  *maxInstrs,
+			AnalysisTimeout: *analysisTimeout,
+		}).Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      60 * time.Second,

@@ -40,6 +40,11 @@ type InstrReport struct {
 	// PortLoads is the heuristic per-port share of this instruction
 	// (cycles), aligned with Model.Ports.
 	PortLoads []float64
+	// Match records how the instruction resolved against the model's
+	// tables: "" (exact entry; omitted on the wire), "fallback" (folded
+	// signature/width chain), or "unknown" (synthesized conservative
+	// descriptor — see Result.Coverage).
+	Match string `json:"match,omitempty"`
 }
 
 // Result is a complete in-core analysis of one block.
@@ -70,6 +75,10 @@ type Result struct {
 	Instrs []InstrReport
 	// TotalUops counts µ-ops per iteration.
 	TotalUops int
+	// Coverage accounts how instructions resolved against the model
+	// (exact / fallback / unknown); Unknown > 0 marks a degraded
+	// analysis over synthesized descriptors.
+	Coverage Coverage
 }
 
 // Analyzer holds analysis options.
@@ -79,9 +88,15 @@ type Analyzer struct {
 }
 
 // New returns an analyzer with OSACA-like defaults (ideal renaming,
-// memory-carried dependencies within one cache line).
+// memory-carried dependencies within one cache line) plus graceful
+// degradation: instructions outside the model's table resolve to its
+// synthesized conservative descriptor and are accounted in
+// Result.Coverage instead of rejecting the whole block. Set
+// Opt.DegradeUnknown = false for the strict error-on-unknown behavior.
 func New() *Analyzer {
-	return &Analyzer{Opt: depgraph.DefaultOptions()}
+	opt := depgraph.DefaultOptions()
+	opt.DegradeUnknown = true
+	return &Analyzer{Opt: opt}
 }
 
 // Fingerprint returns a stable content key for the analyzer's options.
@@ -89,8 +104,8 @@ func New() *Analyzer {
 // same (block, model) input; memoization layers (internal/pipeline) key
 // cached analyses on it.
 func (a *Analyzer) Fingerprint() string {
-	return fmt.Sprintf("falsedeps=%t|memwin=%d|stfwd=%d",
-		a.Opt.IncludeFalseDeps, a.Opt.MemCarriedWindow, a.Opt.StoreForwardLat)
+	return fmt.Sprintf("falsedeps=%t|memwin=%d|stfwd=%d|degrade=%t",
+		a.Opt.IncludeFalseDeps, a.Opt.MemCarriedWindow, a.Opt.StoreForwardLat, a.Opt.DegradeUnknown)
 }
 
 // Analyze runs the in-core model for block b on machine model m. Scratch
@@ -133,6 +148,10 @@ func (a *Analyzer) AnalyzeScratch(b *isa.Block, m *uarch.Model, s *Scratch) (*Re
 			TotalLat:   d.TotalLat,
 			Throughput: d.ThroughputCycles(),
 		}
+		if d.Match != uarch.MatchExact {
+			ir.Match = d.Match.String()
+		}
+		res.Coverage.add(b.Instrs[i].Mnemonic, d.Match)
 		for _, u := range d.Uops {
 			s.jobs = append(s.jobs, balanceJob{Mask: u.Ports, Cycles: u.Cycles})
 		}

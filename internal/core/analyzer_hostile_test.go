@@ -1,0 +1,181 @@
+package core_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"incore/internal/core"
+	"incore/internal/isa"
+	"incore/internal/uarch"
+)
+
+// Hang-freedom: hostile shapes the serve tier may receive must complete
+// within a bounded wall-clock budget (generous enough for -race and slow
+// CI machines) — the point is "terminates promptly", not a perf SLO.
+func analyzeWithin(t *testing.T, d time.Duration, b *isa.Block, m *uarch.Model) *core.Result {
+	t.Helper()
+	type outcome struct {
+		res *core.Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := core.New().Analyze(b, m)
+		done <- outcome{res, err}
+	}()
+	select {
+	case o := <-done:
+		if o.err != nil {
+			t.Fatalf("analyze: %v", o.err)
+		}
+		return o.res
+	case <-time.After(d):
+		t.Fatalf("analysis of %d instrs did not finish within %s", b.Len(), d)
+		return nil
+	}
+}
+
+// A 10⁵-instruction streaming block (realistic shape: O(1) loop-carried
+// edges) must analyze within the budget.
+func TestHugeStreamingBlockTerminates(t *testing.T) {
+	const n = 100_000
+	var sb strings.Builder
+	sb.WriteString(".L0:\n")
+	for i := 0; i < n-3; i++ {
+		fmt.Fprintf(&sb, "\tvaddpd %%ymm1, %%ymm2, %%ymm%d\n", 3+i%13)
+	}
+	sb.WriteString("\taddq $8, %rax\n\tcmpq %rbx, %rax\n\tjne .L0\n")
+	m := uarch.MustGet("goldencove")
+	b, err := isa.ParseBlock("huge", m.Key, m.Dialect, sb.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != n {
+		t.Fatalf("built %d instrs, want %d", b.Len(), n)
+	}
+	r := analyzeWithin(t, 2*time.Minute, b, m)
+	if r.Coverage.Total() != n {
+		t.Fatalf("coverage accounts %d of %d", r.Coverage.Total(), n)
+	}
+}
+
+// Degenerate operands: a long fully serial divide chain (every instr
+// reads and writes the same register) maximizes dependency-path work.
+func TestDegenerateSerialChainTerminates(t *testing.T) {
+	const n = 5_000
+	src := ".L0:\n" + strings.Repeat("\tvdivsd %xmm0, %xmm0, %xmm0\n", n) + "\tjne .L0\n"
+	m := uarch.MustGet("goldencove")
+	b, err := isa.ParseBlock("serial", m.Key, m.Dialect, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := analyzeWithin(t, 2*time.Minute, b, m)
+	if r.LCD.Cycles <= 0 {
+		t.Fatalf("serial chain found no loop-carried dependency")
+	}
+}
+
+// The same register touched through memory with degenerate addressing:
+// every instruction loads and stores the same address region, stressing
+// the memory-carried dependency window.
+func TestDegenerateMemoryAliasingTerminates(t *testing.T) {
+	// Loop-carried search is superlinear in aliasing memory edges, so
+	// this count is deliberately modest; it is exactly the shape the
+	// serve tier's instruction cap and analysis deadline exist for.
+	const n = 600
+	var sb strings.Builder
+	sb.WriteString(".L0:\n")
+	for i := 0; i < n; i++ {
+		sb.WriteString("\tvmovsd (%rsi), %xmm0\n\tvmovsd %xmm0, (%rsi)\n")
+	}
+	sb.WriteString("\tjne .L0\n")
+	m := uarch.MustGet("zen4")
+	b, err := isa.ParseBlock("alias", m.Key, m.Dialect, sb.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	analyzeWithin(t, 2*time.Minute, b, m)
+}
+
+// Empty and comment-only input must be rejected cleanly (no instructions
+// to analyze), never hang or panic.
+func TestEmptyAndCommentOnlyInput(t *testing.T) {
+	m := uarch.MustGet("goldencove")
+	for _, src := range []string{"", "\n\n\n", "# just a comment\n# another\n", ".text\n.globl f\n"} {
+		b, err := isa.ParseBlock("empty", m.Key, m.Dialect, src)
+		if err == nil {
+			// Parser may hand back an instruction-free block; Analyze
+			// must reject it with a validation error, not crash.
+			if _, aerr := core.New().Analyze(b, m); aerr == nil {
+				t.Fatalf("analysis of %q succeeded with nothing to analyze", src)
+			}
+		}
+	}
+}
+
+// A block that is pure unknowns must still produce a well-formed, fully
+// degraded analysis on every model.
+func TestAllUnknownBlockAnalyzes(t *testing.T) {
+	for _, key := range []string{"goldencove", "neoversev2", "zen4"} {
+		m := uarch.MustGet(key)
+		src := "\tmadeup1 %xmm0, %xmm1\n\tmadeup2 %xmm1, %xmm2\n"
+		if m.Dialect == isa.DialectAArch64 {
+			src = "\tmadeup1 d0, d1\n\tmadeup2 d1, d2\n"
+		}
+		b, err := isa.ParseBlock("unknowns", m.Key, m.Dialect, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := core.New().Analyze(b, m)
+		if err != nil {
+			t.Fatalf("%s: %v", key, err)
+		}
+		if r.Coverage.Unknown != 2 || r.Coverage.Full() {
+			t.Fatalf("%s: coverage = %+v, want 2 unknown", key, r.Coverage)
+		}
+		if r.Coverage.Fraction() != 0 {
+			t.Fatalf("%s: fraction = %v, want 0", key, r.Coverage.Fraction())
+		}
+		rep := r.Report()
+		if !strings.Contains(rep, "coverage         :") || !strings.Contains(rep, "madeup1, madeup2") {
+			t.Fatalf("%s: report missing degradation footer:\n%s", key, rep)
+		}
+	}
+}
+
+// Fully covered analyses must not mention coverage at all — that is the
+// byte-identity guarantee for the generated suite.
+func TestFullCoverageReportHasNoFooter(t *testing.T) {
+	m := uarch.MustGet("goldencove")
+	b, err := isa.ParseBlock("clean", m.Key, m.Dialect, "\tvaddpd %ymm1, %ymm2, %ymm3\n\taddq $8, %rax\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := core.New().Analyze(b, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Coverage.Full() {
+		t.Fatalf("expected full coverage, got %+v", r.Coverage)
+	}
+	if rep := r.Report(); strings.Contains(rep, "coverage") || strings.Contains(rep, "unknown") {
+		t.Fatalf("full-coverage report leaks degradation lines:\n%s", rep)
+	}
+}
+
+// Strict mode (DegradeUnknown off) must preserve the historical
+// error-on-unknown contract.
+func TestStrictModeStillRejects(t *testing.T) {
+	m := uarch.MustGet("goldencove")
+	b, err := isa.ParseBlock("strict", m.Key, m.Dialect, "\tvpmaddubsw %ymm1, %ymm2, %ymm3\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := core.New()
+	an.Opt.DegradeUnknown = false
+	if _, err := an.Analyze(b, m); err == nil {
+		t.Fatalf("strict analysis accepted an unknown mnemonic")
+	}
+}

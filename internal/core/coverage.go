@@ -1,0 +1,70 @@
+package core
+
+import (
+	"sort"
+
+	"incore/internal/uarch"
+)
+
+// Coverage summarizes how a block's instructions resolved against the
+// machine model's tables — the analyzer's honesty report for input from
+// outside the curated suite. Exact instructions hit a table entry under
+// their precise operand signature; Fallback instructions resolved through
+// the folded signature/width chain (the mnemonic is modeled, the exact
+// operand shape is not); Unknown instructions are outside the table and
+// received the model's synthesized conservative descriptor.
+//
+// An analysis with Unknown > 0 is a *degraded* analysis: its bounds are
+// still well-defined, but rest on the unknown-instruction policy rather
+// than measured tables. The text report surfaces the coverage footer only
+// in that case, so fully covered analyses (the whole generated suite)
+// render byte-identically to earlier versions.
+type Coverage struct {
+	Exact    int `json:"exact"`
+	Fallback int `json:"fallback"`
+	Unknown  int `json:"unknown"`
+	// UnknownMnemonics lists the distinct unmodeled mnemonics, sorted.
+	UnknownMnemonics []string `json:"unknown_mnemonics,omitempty"`
+}
+
+// Total returns the number of instructions accounted.
+func (c Coverage) Total() int { return c.Exact + c.Fallback + c.Unknown }
+
+// Fraction returns the covered share (exact + fallback) in [0, 1];
+// a zero-instruction coverage counts as fully covered.
+func (c Coverage) Fraction() float64 {
+	t := c.Total()
+	if t == 0 {
+		return 1
+	}
+	return float64(c.Exact+c.Fallback) / float64(t)
+}
+
+// Full reports whether every instruction resolved against the table.
+func (c Coverage) Full() bool { return c.Unknown == 0 }
+
+// add accounts one resolved instruction.
+func (c *Coverage) add(mnemonic string, k uarch.MatchKind) {
+	switch k {
+	case uarch.MatchExact:
+		c.Exact++
+	case uarch.MatchFallback:
+		c.Fallback++
+	case uarch.MatchUnknown:
+		c.Unknown++
+		c.AddUnknownMnemonic(mnemonic)
+	}
+}
+
+// AddUnknownMnemonic records a distinct unmodeled mnemonic without
+// touching the counts; aggregators (internal/corpus) use it to merge
+// coverage across blocks. The list stays sorted and deduplicated.
+func (c *Coverage) AddUnknownMnemonic(mnemonic string) {
+	for _, m := range c.UnknownMnemonics {
+		if m == mnemonic {
+			return
+		}
+	}
+	c.UnknownMnemonics = append(c.UnknownMnemonics, mnemonic)
+	sort.Strings(c.UnknownMnemonics)
+}

@@ -13,7 +13,12 @@ import (
 // Persistence layers (internal/store via internal/pipeline) stamp stored
 // entries with it; bump it whenever resultWire changes shape or meaning
 // so stale cached analyses self-evict instead of decoding wrongly.
-const ResultSchemaVersion = 1
+//
+// v2 (deliberate bump): Result carries the Coverage report and
+// InstrReport the per-instruction match kind. Stores written by v1
+// builds self-evict on first read and are recomputed and overwritten —
+// a one-time full cold pass, never a wrong decode.
+const ResultSchemaVersion = 2
 
 // resultWire mirrors Result minus the Block and Model pointers, which are
 // identity, not content: the cache key already pins their content, and the
@@ -31,6 +36,7 @@ type resultWire struct {
 	Bound         string             `json:"bound"`
 	Instrs        []InstrReport      `json:"instrs"`
 	TotalUops     int                `json:"total_uops"`
+	Coverage      Coverage           `json:"coverage"`
 }
 
 // MarshalStable encodes the analysis into its stable wire form. The
@@ -51,6 +57,7 @@ func (r *Result) MarshalStable() ([]byte, error) {
 		Bound:         r.Bound,
 		Instrs:        r.Instrs,
 		TotalUops:     r.TotalUops,
+		Coverage:      r.Coverage,
 	})
 }
 
@@ -77,5 +84,6 @@ func UnmarshalStable(data []byte, b *isa.Block, m *uarch.Model) (*Result, error)
 		Bound:         w.Bound,
 		Instrs:        w.Instrs,
 		TotalUops:     w.TotalUops,
+		Coverage:      w.Coverage,
 	}, nil
 }

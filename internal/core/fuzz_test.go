@@ -1,0 +1,116 @@
+package core_test
+
+import (
+	"bytes"
+	"testing"
+
+	"incore/internal/core"
+	"incore/internal/isa"
+	"incore/internal/uarch"
+)
+
+// End-to-end fuzz targets for the whole analyzer front end: raw source →
+// parse → Analyze (degraded mode) → report render → stable-encode round
+// trip, per dialect across all three built-in models. The invariants:
+//
+//   - nothing panics on arbitrary input;
+//   - any block the parser accepts analyzes without error (unknown
+//     mnemonics degrade, they do not reject);
+//   - the coverage triple accounts every instruction;
+//   - a MarshalStable → UnmarshalStable round trip renders a
+//     byte-identical report (the warm-store determinism contract).
+//
+// Blocks beyond fuzzMaxInstrs are skipped for throughput; hang-freedom
+// on oversized blocks is pinned separately in analyzer_hostile_test.go.
+const fuzzMaxInstrs = 512
+
+func fuzzAnalyzeModels(t *testing.T, src string, d isa.Dialect, keys []string) {
+	an := core.New()
+	for _, key := range keys {
+		m, err := uarch.Get(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := isa.ParseMarkedBlock("fuzz", m.Key, d, src)
+		if err != nil {
+			continue // rejected input is fine; panics are not
+		}
+		if b.Len() == 0 || b.Len() > fuzzMaxInstrs {
+			continue
+		}
+		r, err := an.Analyze(b, m)
+		if err != nil {
+			t.Fatalf("%s: degraded analysis rejected a parsed block: %v\n%s", key, err, src)
+		}
+		if got, want := r.Coverage.Total(), b.Len(); got != want {
+			t.Fatalf("%s: coverage accounts %d of %d instructions", key, got, want)
+		}
+		if r.Prediction < 0 {
+			t.Fatalf("%s: negative prediction %v", key, r.Prediction)
+		}
+		rep := r.Report()
+		if rep == "" {
+			t.Fatalf("%s: empty report", key)
+		}
+		data, err := r.MarshalStable()
+		if err != nil {
+			t.Fatalf("%s: encode: %v", key, err)
+		}
+		r2, err := core.UnmarshalStable(data, b, m)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", key, err)
+		}
+		if rep2 := r2.Report(); rep2 != rep {
+			t.Fatalf("%s: warm decode changed the report:\n--- cold ---\n%s\n--- warm ---\n%s", key, rep, rep2)
+		}
+		data2, err := r2.MarshalStable()
+		if err != nil {
+			t.Fatalf("%s: re-encode: %v", key, err)
+		}
+		if !bytes.Equal(data, data2) {
+			t.Fatalf("%s: encode → decode → encode is not a fixed point", key)
+		}
+	}
+}
+
+func FuzzAnalyzeX86(f *testing.F) {
+	seeds := []string{
+		".L0:\n\tvmovupd (%rsi,%rax,8), %zmm0\n\tvfmadd231pd (%rdx,%rax,8), %zmm15, %zmm0\n\tvmovupd %zmm0, (%rdi,%rax,8)\n\taddq $8, %rax\n\tcmpq %rbx, %rax\n\tjne .L0\n",
+		"\tvaddsd (%rsi,%rax,8), %xmm0, %xmm0\n\tincq %rax\n",
+		// Unknown mnemonics must degrade, not reject.
+		"\tvpmaddubsw %ymm1, %ymm2, %ymm3\n\tvpmaddwd %ymm3, %ymm4, %ymm5\n",
+		"\ttotallymadeup %xmm0, %xmm1\n",
+		// Degenerate but parseable shapes.
+		"\tvdivsd %xmm0, %xmm0, %xmm0\n\tvdivsd %xmm0, %xmm0, %xmm0\n",
+		"# comment only\n",
+		"# OSACA-BEGIN\n\taddq $1, %rax\n# OSACA-END\n\tgarbage outside region (((\n",
+		"\tvgatherqpd (%rsi,%zmm1,8), %zmm0 {%k1}\n",
+		"\tvmovntpd %zmm0, (%rdi)\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		fuzzAnalyzeModels(t, src, isa.DialectX86, []string{"goldencove", "zen4"})
+	})
+}
+
+func FuzzAnalyzeAArch64(f *testing.F) {
+	seeds := []string{
+		".L0:\n\tldr q0, [x1]\n\tldr q1, [x2]\n\tfmla v0.2d, v1.2d, v15.2d\n\tstr q0, [x0]\n\tadd x1, x1, #16\n\tcmp x1, x4\n\tb.ne .L0\n",
+		"\tld1d { z0.d }, p0/z, [x1, x3, lsl #3]\n\tfmla z0.d, p0/m, z1.d, z15.d\n",
+		// Unknown mnemonics must degrade, not reject.
+		"\tsha256h q0, q1, v2.4s\n",
+		"\tmadeupop v0.2d, v1.2d\n",
+		"\tfdiv d0, d0, d0\n\tfdiv d0, d0, d0\n",
+		"// comment only\n",
+		"\tldr d0, [x1, #8]!\n\tstr q0, [x0], #16\n",
+		"\twhilelo p0.d, x3, x4\n\tb.first .L0\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		fuzzAnalyzeModels(t, src, isa.DialectAArch64, []string{"neoversev2"})
+	})
+}

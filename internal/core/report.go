@@ -65,5 +65,14 @@ func (r *Result) Report() string {
 	}
 	sb.WriteByte('\n')
 	fmt.Fprintf(&sb, "prediction       : %7.2f cy/it  [%s bound]\n", r.Prediction, r.Bound)
+	// The coverage footer appears only on degraded analyses, so fully
+	// covered reports (the entire generated suite) stay byte-identical.
+	if !r.Coverage.Full() {
+		c := r.Coverage
+		fmt.Fprintf(&sb, "coverage         : %7.1f%% of %d instrs (%d exact, %d fallback, %d unknown)\n",
+			100*c.Fraction(), c.Total(), c.Exact, c.Fallback, c.Unknown)
+		fmt.Fprintf(&sb, "unknown          : %s  [conservative default descriptors; bounds are degraded]\n",
+			strings.Join(c.UnknownMnemonics, ", "))
+	}
 	return sb.String()
 }

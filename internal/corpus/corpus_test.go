@@ -1,0 +1,233 @@
+package corpus
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"incore/internal/isa"
+	"incore/internal/uarch"
+)
+
+func fixturePaths(dir string) ([]string, error) {
+	return filepath.Glob(filepath.Join(dir, "*.s"))
+}
+
+const nestedX86 = `	.text
+	.globl	sum2d
+sum2d:
+	xorl	%ecx, %ecx
+.L2:
+	xorl	%eax, %eax
+.L3:
+	vaddsd	(%rsi,%rax,8), %xmm0, %xmm0
+	incq	%rax
+	cmpq	%rbx, %rax
+	jne	.L3
+	incq	%rcx
+	cmpq	%rdx, %rcx
+	jne	.L2
+	ret
+`
+
+func TestExtractLoopsInnermost(t *testing.T) {
+	loops := ExtractLoops(nestedX86, isa.DialectX86)
+	if len(loops) != 1 {
+		t.Fatalf("got %d loops, want 1 (innermost only): %+v", len(loops), loops)
+	}
+	l := loops[0]
+	if l.Label != ".L3" {
+		t.Fatalf("kept loop %q, want inner .L3", l.Label)
+	}
+	if !strings.Contains(l.Source, "vaddsd") || !strings.Contains(l.Source, "jne\t.L3") {
+		t.Fatalf("loop source missing body or branch:\n%s", l.Source)
+	}
+	if strings.Contains(l.Source, ".L2") {
+		t.Fatalf("inner loop source leaked outer-loop lines:\n%s", l.Source)
+	}
+}
+
+func TestExtractLoopsSiblings(t *testing.T) {
+	src := `.LA:
+	addq	$1, %rax
+	cmpq	%rbx, %rax
+	jne	.LA
+	xorl	%eax, %eax
+.LB:
+	addq	$1, %rax
+	cmpq	%rcx, %rax
+	jne	.LB
+`
+	loops := ExtractLoops(src, isa.DialectX86)
+	if len(loops) != 2 {
+		t.Fatalf("got %d loops, want 2 siblings: %+v", len(loops), loops)
+	}
+	if loops[0].Label != ".LA" || loops[1].Label != ".LB" {
+		t.Fatalf("loops out of source order: %q, %q", loops[0].Label, loops[1].Label)
+	}
+}
+
+func TestExtractLoopsIgnoresForwardAndIndirect(t *testing.T) {
+	src := `	jle	.L9
+	jmp	*%rax
+	ret
+.L9:
+	ret
+`
+	if loops := ExtractLoops(src, isa.DialectX86); len(loops) != 0 {
+		t.Fatalf("forward/indirect branches produced loops: %+v", loops)
+	}
+}
+
+func TestExtractLoopsAArch64(t *testing.T) {
+	src := `.L0:
+	ldr	d1, [x1]
+	fadd	d0, d0, d1
+	add	x1, x1, #8
+	cmp	x1, x4
+	b.ne	.L0
+`
+	loops := ExtractLoops(src, isa.DialectAArch64)
+	if len(loops) != 1 || loops[0].Label != ".L0" {
+		t.Fatalf("got %+v, want one .L0 loop", loops)
+	}
+}
+
+func mustModel(t *testing.T, key string) *uarch.Model {
+	t.Helper()
+	m, err := uarch.Get(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestIngestSourceDegradesUnknown(t *testing.T) {
+	m := mustModel(t, "goldencove")
+	ig := &Ingester{Model: m}
+	src := `.L5:
+	vmovupd	(%rsi,%rax,8), %ymm1
+	vpmaddubsw	(%rdx,%rax,8), %ymm1, %ymm2
+	addq	$4, %rax
+	cmpq	%rcx, %rax
+	jb	.L5
+`
+	res := ig.IngestSource("dotint.s", src)
+	if res.Failures() != 0 {
+		t.Fatalf("unexpected failures: %+v", res.Blocks)
+	}
+	if len(res.Blocks) != 1 {
+		t.Fatalf("got %d blocks, want 1", len(res.Blocks))
+	}
+	b := res.Blocks[0]
+	if b.Instrs != 5 {
+		t.Fatalf("got %d instrs, want 5", b.Instrs)
+	}
+	if b.Coverage.Unknown != 1 {
+		t.Fatalf("coverage = %+v, want exactly 1 unknown", b.Coverage)
+	}
+	if got := b.Coverage.UnknownMnemonics; len(got) != 1 || got[0] != "vpmaddubsw" {
+		t.Fatalf("unknown mnemonics = %v, want [vpmaddubsw]", got)
+	}
+	if b.Prediction <= 0 {
+		t.Fatalf("degraded block got non-positive prediction %v", b.Prediction)
+	}
+}
+
+func TestIngestSourceMarkedRegionWins(t *testing.T) {
+	m := mustModel(t, "neoversev2")
+	ig := &Ingester{Model: m}
+	// The marked region covers only two instructions; the loop outside
+	// the markers must be ignored.
+	src := `	// OSACA-BEGIN
+	fadd	d0, d0, d1
+	fadd	d2, d2, d3
+	// OSACA-END
+.L0:
+	add	x1, x1, #8
+	cmp	x1, x4
+	b.ne	.L0
+`
+	res := ig.IngestSource("marked.s", src)
+	if res.Failures() != 0 || len(res.Blocks) != 1 {
+		t.Fatalf("got %+v, want one clean block", res.Blocks)
+	}
+	if res.Blocks[0].Instrs != 2 {
+		t.Fatalf("got %d instrs, want the 2 marked ones", res.Blocks[0].Instrs)
+	}
+}
+
+func TestIngestSourceWholeFileFallback(t *testing.T) {
+	m := mustModel(t, "zen4")
+	ig := &Ingester{Model: m}
+	res := ig.IngestSource("straight.s", "\taddq $1, %rax\n\taddq $2, %rbx\n")
+	if res.Failures() != 0 || len(res.Blocks) != 1 || res.Blocks[0].Instrs != 2 {
+		t.Fatalf("whole-file fallback failed: %+v", res.Blocks)
+	}
+}
+
+func TestIngestSourceParseErrorIsPerBlock(t *testing.T) {
+	m := mustModel(t, "goldencove")
+	ig := &Ingester{Model: m}
+	src := `.LA:
+	addq	$1, %rax
+	jne	.LA
+.LB:
+	addq	$1, %%%garbage
+	jne	.LB
+`
+	res := ig.IngestSource("mixed.s", src)
+	if len(res.Blocks) != 2 {
+		t.Fatalf("got %d blocks, want 2", len(res.Blocks))
+	}
+	if res.Blocks[0].Err != nil {
+		t.Fatalf("good loop failed: %v", res.Blocks[0].Err)
+	}
+	if res.Blocks[1].Err == nil {
+		t.Fatalf("bad loop did not fail")
+	}
+	if res.Failures() != 1 {
+		t.Fatalf("failures = %d, want 1", res.Failures())
+	}
+}
+
+func TestIngestFixtures(t *testing.T) {
+	cases := []struct {
+		arch, dir   string
+		wantUnknown bool
+	}{
+		{"goldencove", "testdata/x86", true},
+		{"zen4", "testdata/x86", true},
+		{"neoversev2", "testdata/aarch64", false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.arch, func(t *testing.T) {
+			m := mustModel(t, tc.arch)
+			ig := &Ingester{Model: m}
+			paths, err := fixturePaths(tc.dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(paths) == 0 {
+				t.Fatalf("no fixtures in %s", tc.dir)
+			}
+			var files []FileResult
+			for _, p := range paths {
+				files = append(files, ig.IngestFile(p))
+			}
+			sum := Summarize(files)
+			if sum.Failures != 0 {
+				t.Fatalf("fixture ingestion had %d failures: %+v", sum.Failures, files)
+			}
+			if sum.Blocks == 0 || sum.Coverage.Total() == 0 {
+				t.Fatalf("fixture ingestion produced no work: %+v", sum)
+			}
+			if got := sum.Coverage.Unknown > 0; got != tc.wantUnknown {
+				t.Fatalf("unknown instructions present = %v, want %v (%+v)", got, tc.wantUnknown, sum.Coverage)
+			}
+			if sum.Fraction() < 0.5 {
+				t.Fatalf("aggregate coverage %.2f unreasonably low", sum.Fraction())
+			}
+		})
+	}
+}

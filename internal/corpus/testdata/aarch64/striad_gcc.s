@@ -1,0 +1,26 @@
+	.arch	armv9-a
+	.file	"striad.c"
+	.text
+	.align	2
+	.global	striad
+	.type	striad, %function
+striad:
+.LFB0:
+	.cfi_startproc
+	cmp	x3, #0
+	b.le	.L1
+	mov	x4, x3
+.L0:
+	ldr	q0, [x1]
+	ldr	q1, [x2]
+	fmla	v0.2d, v1.2d, v15.2d
+	str	q0, [x0]
+	add	x0, x0, #16
+	add	x1, x1, #16
+	add	x2, x2, #16
+	cmp	x1, x4
+	b.ne	.L0
+.L1:
+	ret
+	.cfi_endproc
+	.size	striad, .-striad

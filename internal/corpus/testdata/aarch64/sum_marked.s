@@ -1,0 +1,16 @@
+	.arch	armv9-a
+	.text
+	.global	sum
+	.type	sum, %function
+sum:
+	mov	x3, #0
+	// OSACA-BEGIN
+.L0:
+	ldr	d1, [x1, x3, lsl #3]
+	fadd	d0, d0, d1
+	add	x3, x3, #1
+	cmp	x3, x4
+	b.ne	.L0
+	// OSACA-END
+	ret
+	.size	sum, .-sum

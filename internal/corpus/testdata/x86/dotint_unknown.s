@@ -1,0 +1,19 @@
+	.file	"dotint.c"
+	.text
+	.globl	dotint
+	.type	dotint, @function
+dotint:
+	.cfi_startproc
+	xorl	%eax, %eax
+	vpxor	%ymm0, %ymm0, %ymm0
+.L5:
+	vmovupd	(%rsi,%rax,8), %ymm1
+	vpmaddubsw	(%rdx,%rax,8), %ymm1, %ymm2
+	vpmaddwd	%ymm2, %ymm3, %ymm2
+	vpaddd	%ymm2, %ymm0, %ymm0
+	addq	$4, %rax
+	cmpq	%rcx, %rax
+	jb	.L5
+	ret
+	.cfi_endproc
+	.size	dotint, .-dotint

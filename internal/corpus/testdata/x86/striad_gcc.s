@@ -1,0 +1,24 @@
+	.file	"striad.c"
+	.text
+	.p2align 4
+	.globl	striad
+	.type	striad, @function
+striad:
+.LFB0:
+	.cfi_startproc
+	testq	%rcx, %rcx
+	jle	.L4
+	xorl	%eax, %eax
+	.p2align 4,,10
+.L0:
+	vmovupd	(%rsi,%rax,8), %zmm0
+	vfmadd231pd	(%rdx,%rax,8), %zmm15, %zmm0
+	vmovupd	%zmm0, (%rdi,%rax,8)
+	addq	$8, %rax
+	cmpq	%rcx, %rax
+	jne	.L0
+.L4:
+	ret
+	.cfi_endproc
+	.size	striad, .-striad
+	.ident	"GCC: 13.2.0"

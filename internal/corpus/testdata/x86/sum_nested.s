@@ -1,0 +1,22 @@
+	.file	"sum2d.c"
+	.text
+	.globl	sum2d
+	.type	sum2d, @function
+sum2d:
+	.cfi_startproc
+	xorl	%ecx, %ecx
+	vxorpd	%xmm0, %xmm0, %xmm0
+.L2:
+	xorl	%eax, %eax
+.L3:
+	vaddsd	(%rsi,%rax,8), %xmm0, %xmm0
+	incq	%rax
+	cmpq	%rbx, %rax
+	jne	.L3
+	addq	%r8, %rsi
+	incq	%rcx
+	cmpq	%rdx, %rcx
+	jne	.L2
+	ret
+	.cfi_endproc
+	.size	sum2d, .-sum2d

@@ -84,6 +84,12 @@ type Options struct {
 	// across a forwarding edge plus the load itself; when zero,
 	// LoadLat + 2 is used (matching the simulator's forwarding model).
 	StoreForwardLat int
+	// DegradeUnknown resolves instructions through the model's degraded
+	// lookup path: mnemonics outside the instruction table receive a
+	// synthesized conservative descriptor (uarch.MatchUnknown) instead
+	// of failing graph construction. Node.Desc.Match records how each
+	// instruction resolved, so callers can report coverage.
+	DegradeUnknown bool
 }
 
 // DefaultOptions matches the analyzer's assumptions (ideal renaming,
@@ -176,9 +182,15 @@ func NewScratch(b *isa.Block, m *uarch.Model, opt Options, s *Scratch) (*Graph, 
 	for i := range b.Instrs {
 		in := &b.Instrs[i]
 		eff := isa.InstrEffectsArena(in, m.Dialect, &s.effects)
-		d, err := m.LookupEff(in, &eff)
-		if err != nil {
-			return nil, fmt.Errorf("depgraph: block %s: instr %d (%s): %w", b.Name, i, in.Mnemonic, err)
+		var d uarch.Desc
+		if opt.DegradeUnknown {
+			d = m.LookupEffDegraded(in, &eff)
+		} else {
+			var err error
+			d, err = m.LookupEff(in, &eff)
+			if err != nil {
+				return nil, fmt.Errorf("depgraph: block %s: instr %d (%s): %w", b.Name, i, in.Mnemonic, err)
+			}
 		}
 		g.Nodes[i] = Node{Index: i, Desc: d, Eff: eff}
 	}

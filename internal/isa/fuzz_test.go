@@ -74,6 +74,13 @@ func FuzzParseAArch64(f *testing.F) {
 		for i := range b.Instrs {
 			_ = InstrEffects(&b.Instrs[i], DialectAArch64)
 		}
+		b2, err := ParseBlock("fuzz2", "neoversev2", DialectAArch64, b.Text())
+		if err != nil {
+			t.Fatalf("rendered block does not re-parse: %v\n%s", err, b.Text())
+		}
+		if b2.Len() != b.Len() {
+			t.Fatalf("round trip changed length %d -> %d", b.Len(), b2.Len())
+		}
 	})
 }
 

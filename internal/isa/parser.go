@@ -4,12 +4,21 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"unicode/utf8"
 )
 
 // ParseBlock parses assembly source text in the given dialect into a Block.
 // Empty lines, comment lines (#, //, ;) and directives (leading '.') other
 // than labels are ignored. Labels attach to the following instruction.
+//
+// Source must be valid UTF-8: accepted blocks flow into JSON wire forms
+// (reports, the persistent store), where encoding/json silently rewrites
+// invalid bytes to U+FFFD — a block that cannot round-trip byte-identically
+// must be rejected here, not mangled there.
 func ParseBlock(name, arch string, d Dialect, src string) (*Block, error) {
+	if !utf8.ValidString(src) {
+		return nil, fmt.Errorf("isa: %s: source is not valid UTF-8", name)
+	}
 	b := &Block{Name: name, Arch: arch, Dialect: d}
 	pendingLabel := ""
 	for lineNo, line := range strings.Split(src, "\n") {

@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"time"
 
 	"incore/internal/core"
 	"incore/internal/isa"
@@ -39,9 +40,23 @@ import (
 	"incore/internal/uarch"
 )
 
-// maxRequestBytes bounds a request body; an assembly listing is small,
-// and a bound keeps a malformed client from holding memory hostage.
-const maxRequestBytes = 4 << 20
+// Default hostile-input limits; see Options.
+const (
+	// DefaultMaxBodyBytes bounds a request body; an assembly listing is
+	// small, and a bound keeps a malformed client from holding memory
+	// hostage. Over-limit bodies are rejected with 413 before parsing.
+	DefaultMaxBodyBytes = 4 << 20
+	// DefaultMaxBlockInstrs bounds one parsed block. The analyzer is
+	// near-linear on realistic code, but adversarial blocks can drive
+	// its loop-carried-dependency search superlinear; capping the input
+	// keeps the worst case small enough for the analysis deadline.
+	DefaultMaxBlockInstrs = 1 << 16
+	// DefaultAnalysisTimeout bounds one analysis. Any suite block
+	// analyzes in well under a second; a request that cannot finish in
+	// this budget is pathological, and the worker is released with a 503
+	// rather than wedged.
+	DefaultAnalysisTimeout = 30 * time.Second
+)
 
 // AnalyzeRequest asks for an in-core analysis of one assembly block.
 type AnalyzeRequest struct {
@@ -77,9 +92,31 @@ type AnalyzeResponse struct {
 	LCDCycles     float64 `json:"lcd_cycles"`
 	LCDPath       []int   `json:"lcd_path,omitempty"`
 	TotalUops     int     `json:"total_uops"`
+	// Coverage reports how the block's instructions resolved against
+	// the model; Unknown > 0 marks a degraded analysis (unmodeled
+	// mnemonics received conservative synthesized descriptors instead
+	// of rejecting the block).
+	Coverage CoverageInfo `json:"coverage"`
 	// Report is the OSACA-style text report, identical to cmd/osaca's
 	// output for the same block and model.
 	Report string `json:"report"`
+}
+
+// CoverageInfo is the wire form of core.Coverage plus its derived
+// covered fraction.
+type CoverageInfo struct {
+	Exact            int      `json:"exact"`
+	Fallback         int      `json:"fallback"`
+	Unknown          int      `json:"unknown"`
+	Fraction         float64  `json:"fraction"`
+	UnknownMnemonics []string `json:"unknown_mnemonics,omitempty"`
+}
+
+func coverageInfo(c core.Coverage) CoverageInfo {
+	return CoverageInfo{
+		Exact: c.Exact, Fallback: c.Fallback, Unknown: c.Unknown,
+		Fraction: c.Fraction(), UnknownMnemonics: c.UnknownMnemonics,
+	}
 }
 
 // BatchRequest carries many analyze requests; results come back in
@@ -155,9 +192,39 @@ const maxInlineModels = 128
 // unaffected.
 const maxRegisteredModels = 1024
 
+// Options bound what one request may cost the server. Zero values mean
+// the package defaults; AnalysisTimeout < 0 disables the deadline.
+type Options struct {
+	// MaxBodyBytes caps a request body; over-limit bodies are rejected
+	// with 413 before any parsing.
+	MaxBodyBytes int64
+	// MaxBlockInstrs caps one parsed block's instruction count; larger
+	// blocks are rejected with 413.
+	MaxBlockInstrs int
+	// AnalysisTimeout bounds one block's analysis. A request exceeding
+	// it gets a 503 and its worker is released; the abandoned
+	// computation finishes at most once (memo singleflight) and is
+	// discarded.
+	AnalysisTimeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxBodyBytes == 0 {
+		o.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if o.MaxBlockInstrs == 0 {
+		o.MaxBlockInstrs = DefaultMaxBlockInstrs
+	}
+	if o.AnalysisTimeout == 0 {
+		o.AnalysisTimeout = DefaultAnalysisTimeout
+	}
+	return o
+}
+
 // Server handles analysis requests with one analyzer configuration.
 type Server struct {
-	an *core.Analyzer
+	an  *core.Analyzer
+	opt Options
 
 	// inlineMu guards inline, a cache of parsed inline machine files
 	// keyed by the sha256 of their raw JSON, so repeated requests
@@ -169,9 +236,42 @@ type Server struct {
 
 // New returns a server with OSACA-like analyzer defaults — the same
 // configuration cmd/osaca and the experiment runners use, so all three
-// share cache entries.
+// share cache entries — and default hostile-input limits.
 func New() *Server {
-	return &Server{an: core.New(), inline: make(map[[sha256.Size]byte]*uarch.Model)}
+	return NewWithOptions(Options{})
+}
+
+// NewWithOptions is New with explicit hostile-input limits.
+func NewWithOptions(opt Options) *Server {
+	return &Server{
+		an:     core.New(),
+		opt:    opt.withDefaults(),
+		inline: make(map[[sha256.Size]byte]*uarch.Model),
+	}
+}
+
+// statusError pins a specific HTTP status to an error.
+type statusError struct {
+	code int
+	err  error
+}
+
+func (e *statusError) Error() string { return e.err.Error() }
+func (e *statusError) Unwrap() error { return e.err }
+
+// httpStatus maps a request-handling error to its response status:
+// explicit statusErrors keep their code, body-limit violations are 413,
+// everything else is a client error.
+func httpStatus(err error) int {
+	var se *statusError
+	if errors.As(err, &se) {
+		return se.code
+	}
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
 }
 
 // Handler returns the route table.
@@ -252,7 +352,13 @@ func (s *Server) analyze(req AnalyzeRequest) (*AnalyzeResponse, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := pipeline.Analyze(s.an, b, m)
+	if n := len(b.Instrs); n > s.opt.MaxBlockInstrs {
+		return nil, &statusError{
+			code: http.StatusRequestEntityTooLarge,
+			err:  fmt.Errorf("block has %d instructions, limit is %d", n, s.opt.MaxBlockInstrs),
+		}
+	}
+	res, err := s.analyzeBounded(b, m)
 	if err != nil {
 		return nil, err
 	}
@@ -274,19 +380,52 @@ func (s *Server) analyze(req AnalyzeRequest) (*AnalyzeResponse, error) {
 		LCDCycles:     res.LCD.Cycles,
 		LCDPath:       res.LCD.Path,
 		TotalUops:     res.TotalUops,
+		Coverage:      coverageInfo(res.Coverage),
 		Report:        labeled.Report(),
 	}, nil
 }
 
+// analyzeBounded runs the memoized analysis under the configured
+// deadline. On timeout the handler's worker is released with a 503 while
+// the abandoned computation runs to completion in its goroutine exactly
+// once — the pipeline memo's singleflight guarantees concurrent and
+// later requests for the same key attach to that one computation rather
+// than piling up fresh ones — and its result is discarded here.
+func (s *Server) analyzeBounded(b *isa.Block, m *uarch.Model) (*core.Result, error) {
+	if s.opt.AnalysisTimeout < 0 {
+		return pipeline.Analyze(s.an, b, m)
+	}
+	type outcome struct {
+		res *core.Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := pipeline.Analyze(s.an, b, m)
+		done <- outcome{res, err}
+	}()
+	t := time.NewTimer(s.opt.AnalysisTimeout)
+	defer t.Stop()
+	select {
+	case o := <-done:
+		return o.res, o.err
+	case <-t.C:
+		return nil, &statusError{
+			code: http.StatusServiceUnavailable,
+			err:  fmt.Errorf("analysis exceeded the %s deadline", s.opt.AnalysisTimeout),
+		}
+	}
+}
+
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	var req AnalyzeRequest
-	if err := decodeBody(w, r, &req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+	if err := s.decodeBody(w, r, &req); err != nil {
+		writeJSON(w, httpStatus(err), errorBody{Error: err.Error()})
 		return
 	}
 	resp, err := s.analyze(req)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		writeJSON(w, httpStatus(err), errorBody{Error: err.Error()})
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -294,8 +433,8 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var req BatchRequest
-	if err := decodeBody(w, r, &req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+	if err := s.decodeBody(w, r, &req); err != nil {
+		writeJSON(w, httpStatus(err), errorBody{Error: err.Error()})
 		return
 	}
 	// One pipeline map over the shared pool: batch items parallelize
@@ -341,10 +480,10 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 // content is a 409 so a client can never silently repoint a key (and
 // with it the result caches other clients rely on).
 func (s *Server) handleRegisterModel(w http.ResponseWriter, r *http.Request) {
-	body := http.MaxBytesReader(w, r.Body, maxRequestBytes)
+	body := http.MaxBytesReader(w, r.Body, s.opt.MaxBodyBytes)
 	m, err := uarch.ReadJSON(body)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		writeJSON(w, httpStatus(err), errorBody{Error: err.Error()})
 		return
 	}
 	// Approximate cap check (racy against concurrent registrations, but
@@ -398,8 +537,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opt.MaxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		return fmt.Errorf("invalid request body: %w", err)

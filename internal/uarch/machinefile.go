@@ -53,7 +53,19 @@ type machineFile struct {
 
 	Node *machineNode `json:"node,omitempty"`
 
+	Unknown *machineUnknown `json:"unknown,omitempty"`
+
 	Entries []machineEntry `json:"instructions"`
+}
+
+// machineUnknown is the optional unknown-instruction policy: the
+// conservative descriptor degraded lookups synthesize for mnemonics the
+// instruction table cannot describe. Omitted fields keep the defaults
+// (all ports, latency 1, occupancy 1).
+type machineUnknown struct {
+	Ports  []string `json:"ports,omitempty"`
+	Lat    int      `json:"latency,omitempty"`
+	Cycles float64  `json:"cycles,omitempty"`
 }
 
 // machineNode is the optional node-level section: the calibration the
@@ -209,6 +221,9 @@ func (m *Model) WriteJSON(w io.Writer) error {
 		FPVectorUnits: m.FPVectorUnits, IntUnits: m.IntUnits,
 		Node: nodeToWire(m.Node),
 	}
+	if u := m.Unknown; u != nil {
+		mf.Unknown = &machineUnknown{Ports: m.maskNames(u.Ports), Lat: u.Lat, Cycles: u.Cycles}
+	}
 	for _, e := range m.Entries {
 		me := machineEntry{Mnemonic: e.Mnemonic, Sig: e.Sig, Width: e.Width, Lat: e.Lat, Notes: e.Notes}
 		for _, u := range e.Uops {
@@ -294,6 +309,13 @@ func ReadJSON(r io.Reader) (*Model, error) {
 	}
 	if m.Node, err = nodeFromWire(mf.Node); err != nil {
 		return nil, err
+	}
+	if mu := mf.Unknown; mu != nil {
+		mask, err := m.namesMask(mu.Ports)
+		if err != nil {
+			return nil, fmt.Errorf("uarch: machine file: unknown section: %w", err)
+		}
+		m.Unknown = &UnknownPolicy{Ports: mask, Lat: mu.Lat, Cycles: mu.Cycles}
 	}
 	for _, me := range mf.Entries {
 		e := Entry{Mnemonic: me.Mnemonic, Sig: me.Sig, Width: me.Width, Lat: me.Lat, Notes: me.Notes}

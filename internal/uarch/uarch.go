@@ -190,6 +190,12 @@ type Model struct {
 	// parameters, frequency governor, Roofline ceilings); see node.go.
 	Node *NodeParams
 
+	// Unknown optionally overrides the synthesized descriptor used by the
+	// degraded lookup path for mnemonics the table cannot describe; nil
+	// uses the conservative defaults (one single-cycle µ-op that may run
+	// on any port, latency 1). See UnknownPolicy.
+	Unknown *UnknownPolicy
+
 	Entries []Entry
 
 	index map[entryKey]*Entry
@@ -200,6 +206,28 @@ type Model struct {
 	// fingerprint is the sha256 hex of the canonical machine-file wire
 	// form, computed at buildIndex time; see Fingerprint.
 	fingerprint string
+	// unknown is the descriptor template degraded lookups hand out for
+	// mnemonics outside the table, precomputed at buildIndex time from
+	// the Unknown policy so every degraded lookup of this model returns
+	// the identical (deterministic, shared, read-only) µ-op list.
+	unknown Entry
+}
+
+// UnknownPolicy configures the descriptor synthesized for instructions a
+// model's table cannot describe (llvm-mca's "unsupported instruction"
+// handling, degraded to a conservative guess instead of an error). Zero
+// fields select the defaults: one µ-op that may execute on any model
+// port, occupying it for one cycle, with a result latency of one cycle —
+// the weakest assumption that keeps every bound finite without inventing
+// pressure on a specific port.
+type UnknownPolicy struct {
+	// Ports is the candidate port mask of the synthesized µ-op; zero
+	// means all model ports.
+	Ports PortMask
+	// Lat is the synthesized result latency in cycles; zero means 1.
+	Lat int
+	// Cycles is the synthesized per-port occupancy; zero means 1.0.
+	Cycles float64
 }
 
 type entryKey struct {
@@ -258,7 +286,34 @@ func (m *Model) buildIndex() {
 	addMask(m.WideLoadPorts)
 	addMask(m.StoreAGUPorts)
 	addMask(m.StoreDataPorts)
+	ports, lat, cycles := m.unknownPolicy()
+	m.unknown = Entry{
+		Mnemonic: "?",
+		Lat:      lat,
+		Uops:     []Uop{{Ports: ports, Cycles: cycles}},
+		Notes:    "synthesized unknown-instruction descriptor",
+	}
+	addMask(ports)
 	m.fingerprint = m.computeFingerprint()
+}
+
+// unknownPolicy resolves the unknown-instruction policy with defaults
+// applied: all ports, latency 1, occupancy 1.
+func (m *Model) unknownPolicy() (PortMask, int, float64) {
+	ports := PortMask(1<<uint(len(m.Ports))) - 1
+	lat, cycles := 1, 1.0
+	if p := m.Unknown; p != nil {
+		if p.Ports != 0 {
+			ports = p.Ports
+		}
+		if p.Lat > 0 {
+			lat = p.Lat
+		}
+		if p.Cycles > 0 {
+			cycles = p.Cycles
+		}
+	}
+	return ports, lat, cycles
 }
 
 // Reindex revalidates the model and rebuilds its lookup index, port
@@ -359,6 +414,38 @@ func vecWidthOf(in *isa.Instruction) int {
 	return w
 }
 
+// MatchKind classifies how a Desc was resolved against the model's
+// tables; coverage accounting (core.Result.Coverage) aggregates it.
+type MatchKind int
+
+const (
+	// MatchExact means the (mnemonic, signature, width) triple hit a
+	// table entry directly.
+	MatchExact MatchKind = iota
+	// MatchFallback means the instruction resolved through the folded
+	// operand-signature/width fallback chain (see find): the mnemonic is
+	// in the table, but not under this exact operand shape.
+	MatchFallback
+	// MatchUnknown means the mnemonic is not in the table at all and the
+	// descriptor was synthesized from the model's unknown-instruction
+	// policy (degraded lookup only; strict lookup errors instead).
+	MatchUnknown
+)
+
+// String names the match kind as coverage reports spell it.
+func (k MatchKind) String() string {
+	switch k {
+	case MatchExact:
+		return "exact"
+	case MatchFallback:
+		return "fallback"
+	case MatchUnknown:
+		return "unknown"
+	default:
+		return fmt.Sprintf("MatchKind(%d)", int(k))
+	}
+}
+
 // Desc is the resolved microarchitectural description of one instruction:
 // its µ-op list (including folded memory µ-ops on x86), latencies, and
 // classification flags.
@@ -376,6 +463,9 @@ type Desc struct {
 	TotalLat int
 	// IsLoad / IsStore / IsBranch classify the instruction.
 	IsLoad, IsStore, IsBranch bool
+	// Match records how the instruction resolved against the table
+	// (exact entry, fallback chain, or synthesized unknown descriptor).
+	Match MatchKind
 	// Entry points at the matched table entry (nil if the default was
 	// synthesised).
 	Entry *Entry
@@ -415,19 +505,59 @@ func (m *Model) Lookup(in *isa.Instruction) (Desc, error) {
 // architectural effects (depgraph builds them anyway); it avoids deriving
 // them a second time. eff must describe in under this model's dialect.
 func (m *Model) LookupEff(in *isa.Instruction, eff *isa.Effects) (Desc, error) {
+	d, ok := m.lookupEff(in, eff, false)
+	if !ok {
+		return Desc{}, &ErrNoEntry{Model: m.Key, Mnemonic: in.Mnemonic, Sig: OperandSig(in), Width: vecWidthOf(in)}
+	}
+	return d, nil
+}
+
+// LookupDegraded resolves an instruction like Lookup, but never fails:
+// mnemonics outside the table receive the model's synthesized
+// unknown-instruction descriptor (Desc.Match == MatchUnknown) instead of
+// an error, so one unmodeled instruction degrades the analysis of its
+// block rather than rejecting it. The synthesized descriptor is
+// deterministic for a given model content.
+func (m *Model) LookupDegraded(in *isa.Instruction) Desc {
+	eff := isa.InstrEffects(in, m.Dialect)
+	return m.LookupEffDegraded(in, &eff)
+}
+
+// LookupEffDegraded is LookupDegraded for callers that already computed
+// the instruction's architectural effects.
+func (m *Model) LookupEffDegraded(in *isa.Instruction, eff *isa.Effects) Desc {
+	d, _ := m.lookupEff(in, eff, true)
+	return d
+}
+
+// lookupEff resolves in against the table. With degrade set it
+// synthesizes the unknown-instruction descriptor for table misses and
+// always succeeds; otherwise a miss reports ok == false.
+func (m *Model) lookupEff(in *isa.Instruction, eff *isa.Effects, degrade bool) (Desc, bool) {
 	sig := OperandSig(in)
 	width := vecWidthOf(in)
-	e := m.find(in.Mnemonic, sig, width)
-	if e == nil {
-		return Desc{}, &ErrNoEntry{Model: m.Key, Mnemonic: in.Mnemonic, Sig: sig, Width: width}
+	e, exact := m.find(in.Mnemonic, sig, width)
+	match := MatchExact
+	switch {
+	case e == nil && !degrade:
+		return Desc{}, false
+	case e == nil:
+		e = &m.unknown
+		match = MatchUnknown
+	case !exact:
+		match = MatchFallback
 	}
 
 	if isGather(in) {
-		if g := m.find(in.Mnemonic+"@gather", sig, width); g != nil {
+		if g, _ := m.find(in.Mnemonic+"@gather", sig, width); g != nil {
 			e = g
 		}
 	}
-	d := Desc{Lat: e.Lat, Entry: e, IsBranch: in.IsBranch()}
+	d := Desc{Lat: e.Lat, Entry: e, IsBranch: in.IsBranch(), Match: match}
+	if match == MatchUnknown {
+		// The synthesized descriptor has no table entry behind it.
+		d.Entry = nil
+	}
 	// The common case folds no memory µ-ops and shares the entry's list;
 	// consumers treat Desc.Uops as read-only.
 	d.Uops = e.Uops
@@ -435,7 +565,10 @@ func (m *Model) LookupEff(in *isa.Instruction, eff *isa.Effects) (Desc, error) {
 	// Fold memory operands. AArch64 entries always model their own
 	// memory µ-ops (loads/stores are dedicated instructions); x86 tables
 	// describe the register form, so synthesize the memory µ-ops here.
-	if m.Dialect == isa.DialectX86 {
+	// A synthesized unknown descriptor models no memory µ-ops on either
+	// dialect, so folding applies to it unconditionally: an unknown
+	// load/store still charges the memory pipeline conservatively.
+	if m.Dialect == isa.DialectX86 || match == MatchUnknown {
 		foldLoad := eff.ReadsMem() && !hasKind(e.Uops, UopLoad)
 		foldStore := eff.WritesMem() && !hasKind(e.Uops, UopStoreData)
 		if foldLoad || foldStore {
@@ -473,7 +606,7 @@ func (m *Model) LookupEff(in *isa.Instruction, eff *isa.Effects) (Desc, error) {
 		// Every value-producing instruction takes at least one cycle.
 		d.TotalLat = 1
 	}
-	return d, nil
+	return d, true
 }
 
 func memWidth(mem *isa.MemOp, vecWidth int) int {
@@ -514,20 +647,21 @@ func hasKind(uops []Uop, k UopKind) bool {
 
 // find locates the best-matching entry with fallbacks:
 // exact (mn,sig,width) → (mn,sig,0) → (mn,"",width) → (mn,"",0).
-func (m *Model) find(mn, sig string, width int) *Entry {
+// exact reports whether the first (full-triple) key hit.
+func (m *Model) find(mn, sig string, width int) (e *Entry, exact bool) {
 	if e, ok := m.index[entryKey{mn, sig, width}]; ok {
-		return e
+		return e, true
 	}
 	if e, ok := m.index[entryKey{mn, sig, 0}]; ok {
-		return e
+		return e, false
 	}
 	if e, ok := m.index[entryKey{mn, "", width}]; ok {
-		return e
+		return e, false
 	}
 	if e, ok := m.index[entryKey{mn, "", 0}]; ok {
-		return e
+		return e, false
 	}
-	return nil
+	return nil, false
 }
 
 // isGather reports whether an instruction indexes memory through a vector

@@ -59,6 +59,18 @@ func (m *Model) Validate() error {
 	if err := m.validateNode(); err != nil {
 		return err
 	}
+	if u := m.Unknown; u != nil {
+		// Zero fields mean "default", so only set fields are checked.
+		if u.Ports&^allPorts != 0 {
+			return fmt.Errorf("uarch: model %s: unknown-instruction policy references missing ports", m.Key)
+		}
+		if u.Lat < 0 {
+			return fmt.Errorf("uarch: model %s: unknown-instruction policy has negative latency", m.Key)
+		}
+		if u.Cycles < 0 {
+			return fmt.Errorf("uarch: model %s: unknown-instruction policy has negative cycles", m.Key)
+		}
+	}
 	seen := map[entryKey]bool{}
 	for i := range m.Entries {
 		e := &m.Entries[i]
