@@ -6,7 +6,8 @@
 //
 // Usage:
 //
-//	serve [-addr :8080] [-cache-dir DIR] [-j N] [-machine FILE ...] [-machine-dir DIR]
+//	serve [-addr :8080] [-cache-dir DIR] [-jobs-dir DIR] [-job-workers N] [-j N]
+//	      [-machine FILE ...] [-machine-dir DIR]
 //	      [-max-body BYTES] [-max-instrs N] [-analysis-timeout D]
 //	      [-cpuprofile FILE] [-memprofile FILE]
 //
@@ -15,17 +16,28 @@
 // register models at runtime via POST /v1/models or send inline
 // "machine" objects on analyze/batch requests.
 //
+// -jobs-dir makes the /v1/jobs queue durable: job records persist next
+// to the result store and a restarted server resumes interrupted jobs,
+// with already-stored items served warm (no recompute). It defaults to
+// <cache-dir>/jobs when -cache-dir is set; without either, jobs live in
+// memory only. Graceful shutdown (SIGINT/SIGTERM) drains in-flight job
+// items and checkpoints every job before exit.
+//
 // With -cpuprofile/-memprofile, runtime/pprof profiles cover the serving
-// window and are written on graceful shutdown (SIGINT/SIGTERM).
+// window and are written on graceful shutdown.
 //
-// Endpoints:
+// Endpoints (see API.md for the full contract):
 //
-//	POST /v1/analyze  {"arch":"zen4","asm":"...","name":"..."} or {"machine":{...},"asm":"..."}
-//	POST /v1/batch    {"requests":[{...},{...}]}
-//	GET  /v1/models
-//	POST /v1/models   (body: machine-file JSON)
-//	GET  /v1/models/{key}
-//	GET  /healthz
+//	POST   /v1/analyze  {"arch":"zen4","asm":"...","name":"..."} or {"machine":{...},"asm":"..."}
+//	POST   /v1/batch    {"requests":[{...},{...}]}
+//	POST   /v1/jobs     {"requests":[{...},{...}]} → 202 {"id","status",...}
+//	GET    /v1/jobs/{id}
+//	GET    /v1/jobs?state=running
+//	DELETE /v1/jobs/{id}
+//	GET    /v1/models?limit=10&offset=0&arch=x86
+//	POST   /v1/models   (body: machine-file JSON)
+//	GET    /v1/models/{key}
+//	GET    /healthz
 //
 // Example:
 //
@@ -41,6 +53,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -60,6 +73,8 @@ func main() {
 		return nil
 	})
 	machineDir := flag.String("machine-dir", "", "register every *.json machine file in this directory at startup")
+	jobsDir := flag.String("jobs-dir", "", "durable job-queue directory (default <cache-dir>/jobs when -cache-dir is set; empty without it = in-memory jobs)")
+	jobWorkers := flag.Int("job-workers", 0, "workers draining /v1/jobs items (0 = GOMAXPROCS)")
 	maxBody := flag.Int64("max-body", serve.DefaultMaxBodyBytes, "request body size cap in bytes (413 beyond)")
 	maxInstrs := flag.Int("max-instrs", serve.DefaultMaxBlockInstrs, "per-block instruction cap (413 beyond)")
 	analysisTimeout := flag.Duration("analysis-timeout", serve.DefaultAnalysisTimeout, "per-block analysis deadline (503 beyond; negative disables)")
@@ -101,21 +116,40 @@ func main() {
 			os.Exit(1)
 		}
 		log.Printf("serve: store attached at %s (schema %d)", st.Dir(), pipeline.StoreSchema())
+		if *jobsDir == "" {
+			// Durable jobs live next to the store by default, so one
+			// -cache-dir flag yields a fully restart-resumable server.
+			*jobsDir = filepath.Join(*cacheDir, "jobs")
+		}
+	}
+
+	api, err := serve.NewWithOptions(serve.Options{
+		MaxBodyBytes:    *maxBody,
+		MaxBlockInstrs:  *maxInstrs,
+		AnalysisTimeout: *analysisTimeout,
+		JobsDir:         *jobsDir,
+		JobWorkers:      *jobWorkers,
+		AccessLog:       log.Default(),
+	})
+	if err != nil {
+		stopProfiles()
+		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+		os.Exit(1)
+	}
+	if *jobsDir != "" {
+		log.Printf("serve: durable job queue at %s", *jobsDir)
 	}
 
 	srv := &http.Server{
-		Addr: *addr,
-		Handler: serve.NewWithOptions(serve.Options{
-			MaxBodyBytes:    *maxBody,
-			MaxBlockInstrs:  *maxInstrs,
-			AnalysisTimeout: *analysisTimeout,
-		}).Handler(),
+		Addr:              *addr,
+		Handler:           api.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      60 * time.Second,
 	}
 	// Graceful shutdown on SIGINT/SIGTERM: drain in-flight requests,
-	// then flush any active pprof profiles.
+	// checkpoint the job queue (running items revert to pending so a
+	// restart resumes them), then flush any active pprof profiles.
 	idle := make(chan struct{})
 	go func() {
 		sig := make(chan os.Signal, 1)
@@ -127,6 +161,7 @@ func main() {
 		if err := srv.Shutdown(ctx); err != nil {
 			fmt.Fprintf(os.Stderr, "serve: shutdown: %v\n", err)
 		}
+		api.Close()
 		close(idle)
 	}()
 

@@ -1,0 +1,504 @@
+package jobqueue
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// echoRunner returns {"echo":<request>} cold for every item.
+func echoRunner(req json.RawMessage) (json.RawMessage, bool, error) {
+	return json.RawMessage(`{"echo":` + string(req) + `}`), false, nil
+}
+
+// storeRunner simulates the serve tier's cached path: a shared
+// content-keyed map stands in for the persistent store, so re-running an
+// item whose answer is already stored reports warm — the observable a
+// resumed job is judged by.
+type storeRunner struct {
+	mu       sync.Mutex
+	store    map[string]json.RawMessage
+	computed int
+}
+
+func (sr *storeRunner) run(req json.RawMessage) (json.RawMessage, bool, error) {
+	key := string(req)
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	if res, ok := sr.store[key]; ok {
+		return res, true, nil
+	}
+	sr.computed++
+	res := json.RawMessage(`{"computed":` + string(req) + `}`)
+	sr.store[key] = res
+	return res, false, nil
+}
+
+func items(n int) []json.RawMessage {
+	out := make([]json.RawMessage, n)
+	for i := range out {
+		out[i] = json.RawMessage(fmt.Sprintf(`{"i":%d}`, i))
+	}
+	return out
+}
+
+// waitState polls until the job reaches the wanted state.
+func waitState(t *testing.T, q *Queue, id string, want JobState) JobView {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		v, ok := q.Get(id)
+		if !ok {
+			t.Fatalf("job %s vanished", id)
+		}
+		if v.State == want {
+			return v
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s, want %s: %+v", id, v.State, want, v)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestSubmitRunDedupe(t *testing.T) {
+	q, err := Open(Options{}) // memory-only
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	q.Start(2, echoRunner)
+
+	v, created, err := q.Submit(items(3))
+	if err != nil || !created {
+		t.Fatalf("submit: created=%v err=%v", created, err)
+	}
+	if v.Total != 3 {
+		t.Fatalf("total = %d, want 3", v.Total)
+	}
+	done := waitState(t, q, v.ID, StateCompleted)
+	if done.Completed != 3 || done.Failed != 0 || done.Cold != 3 || done.Warm != 0 {
+		t.Fatalf("completed job = %+v", done)
+	}
+	for i, it := range done.Items {
+		if it.State != ItemDone || it.Index != i {
+			t.Fatalf("item %d = %+v", i, it)
+		}
+		want := fmt.Sprintf(`{"echo":{"i":%d}}`, i)
+		if string(it.Result) != want {
+			t.Fatalf("item %d result = %s, want %s", i, it.Result, want)
+		}
+	}
+
+	// Whitespace variants of the same batch dedupe onto the same job:
+	// Submit canonicalizes before hashing.
+	loose := make([]json.RawMessage, 3)
+	for i := range loose {
+		loose[i] = json.RawMessage(fmt.Sprintf(" {\n  \"i\": %d\n} ", i))
+	}
+	v2, created2, err := q.Submit(loose)
+	if err != nil || created2 {
+		t.Fatalf("dedupe submit: created=%v err=%v", created2, err)
+	}
+	if v2.ID != v.ID {
+		t.Fatalf("whitespace variant got a new job: %s vs %s", v2.ID, v.ID)
+	}
+
+	// The ID is the documented content hash of the canonical payloads.
+	if want := IDFor(items(3)); v.ID != want {
+		t.Fatalf("job ID = %s, want IDFor = %s", v.ID, want)
+	}
+}
+
+func TestSubmitRejectsBadInput(t *testing.T) {
+	q, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	if _, _, err := q.Submit(nil); err == nil {
+		t.Error("empty submit must fail")
+	}
+	if _, _, err := q.Submit([]json.RawMessage{json.RawMessage(`{broken`)}); err == nil {
+		t.Error("invalid JSON item must fail")
+	}
+}
+
+func TestQueueFull(t *testing.T) {
+	q, err := Open(Options{MaxJobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	if _, _, err := q.Submit(items(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := q.Submit(items(2)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	// Resubmitting the retained job still dedupes — the cap guards new
+	// records, not lookups.
+	if _, created, err := q.Submit(items(1)); err != nil || created {
+		t.Fatalf("dedupe at cap: created=%v err=%v", created, err)
+	}
+}
+
+func TestPersistLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+
+	// Submit with no workers: everything persists as pending.
+	q1, err := Open(Options{Dir: dir, Schema: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _, err := q1.Submit(items(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q1.Close()
+
+	// Reopen: the job is back, pending, and drains to completion.
+	q2, err := Open(Options{Dir: dir, Schema: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := q2.Get(v.ID)
+	if !ok || got.State != StatePending || got.Total != 2 {
+		t.Fatalf("reloaded job = %+v (ok=%v)", got, ok)
+	}
+	if st := q2.Stats(); st.Jobs != 1 || st.Depth != 2 || st.Evicted != 0 {
+		t.Fatalf("reloaded stats = %+v", st)
+	}
+	q2.Start(2, echoRunner)
+	waitState(t, q2, v.ID, StateCompleted)
+	q2.Close()
+
+	// Third open: results survive, nothing is pending.
+	q3, err := Open(Options{Dir: dir, Schema: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q3.Close()
+	final, ok := q3.Get(v.ID)
+	if !ok || final.State != StateCompleted || final.Completed != 2 {
+		t.Fatalf("final job = %+v (ok=%v)", final, ok)
+	}
+	for i, it := range final.Items {
+		if it.State != ItemDone || len(it.Result) == 0 {
+			t.Fatalf("item %d lost its result: %+v", i, it)
+		}
+	}
+	if st := q3.Stats(); st.Depth != 0 || st.Completed != 1 {
+		t.Fatalf("final stats = %+v", st)
+	}
+}
+
+func TestCorruptRecordsSelfEvict(t *testing.T) {
+	dir := t.TempDir()
+	q1, err := Open(Options{Dir: dir, Schema: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _, err := q1.Submit(items(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q1.Close()
+
+	valid, err := os.ReadFile(filepath.Join(dir, v.ID+".json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Damage 1: not JSON at all.
+	os.WriteFile(filepath.Join(dir, strings.Repeat("a", 64)+".json"), []byte("{garbage"), 0o644)
+	// Damage 2: a valid record renamed — filename/ID cross-check fails.
+	os.WriteFile(filepath.Join(dir, strings.Repeat("b", 64)+".json"), valid, 0o644)
+	// Damage 3: tampered item payload — the recomputed content hash no
+	// longer matches the ID.
+	tampered := []byte(strings.Replace(string(valid), `{"i":0}`, `{"i":9}`, 1))
+	os.WriteFile(filepath.Join(dir, strings.Repeat("c", 64)+".json"), tampered, 0o644)
+
+	q2, err := Open(Options{Dir: dir, Schema: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q2.Close()
+	st := q2.Stats()
+	if st.Jobs != 1 || st.Evicted != 3 {
+		t.Fatalf("stats after damaged load = %+v, want 1 job / 3 evicted", st)
+	}
+	if _, ok := q2.Get(v.ID); !ok {
+		t.Error("healthy record evicted alongside the damaged ones")
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 {
+		t.Errorf("damaged files not removed: %d entries remain", len(entries))
+	}
+}
+
+func TestSchemaBumpEvicts(t *testing.T) {
+	dir := t.TempDir()
+	q1, err := Open(Options{Dir: dir, Schema: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := q1.Submit(items(1)); err != nil {
+		t.Fatal(err)
+	}
+	q1.Close()
+	q2, err := Open(Options{Dir: dir, Schema: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q2.Close()
+	if st := q2.Stats(); st.Jobs != 0 || st.Evicted != 1 {
+		t.Fatalf("stats after schema bump = %+v, want 0 jobs / 1 evicted", st)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	q, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+
+	// No workers yet: the job stays pending and cancel hits every item.
+	v, _, err := q.Submit(items(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv, err := q.Cancel(v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cv.State != StateCancelled || cv.Cancelled != 3 || cv.Completed != 0 {
+		t.Fatalf("cancelled job = %+v", cv)
+	}
+	// Cancelling again is a no-op, not an error.
+	if cv2, err := q.Cancel(v.ID); err != nil || cv2.State != StateCancelled {
+		t.Fatalf("re-cancel = %+v err=%v", cv2, err)
+	}
+	if _, err := q.Cancel("no-such-job"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown cancel err = %v, want ErrNotFound", err)
+	}
+
+	// Workers never touch a cancelled job: a later job completes while
+	// the cancelled one keeps zero completed items.
+	q.Start(2, echoRunner)
+	v2, _, err := q.Submit(items(5)[3:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, q, v2.ID, StateCompleted)
+	if got, _ := q.Get(v.ID); got.Completed != 0 || got.State != StateCancelled {
+		t.Fatalf("cancelled job ran anyway: %+v", got)
+	}
+}
+
+func TestItemErrorIsolationAndCode(t *testing.T) {
+	q, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	q.Start(1, func(req json.RawMessage) (json.RawMessage, bool, error) {
+		if strings.Contains(string(req), `"i":1`) {
+			return nil, false, codedErr{}
+		}
+		return echoRunner(req)
+	})
+	v, _, err := q.Submit(items(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitState(t, q, v.ID, StateCompleted)
+	if done.Completed != 2 || done.Failed != 1 {
+		t.Fatalf("job = %+v, want 2 done / 1 failed", done)
+	}
+	bad := done.Items[1]
+	if bad.State != ItemError || bad.Error != "boom" || bad.Code != "test_code" {
+		t.Fatalf("failed item = %+v", bad)
+	}
+	// A failed item counts neither warm nor cold.
+	if done.Warm+done.Cold != 2 {
+		t.Fatalf("warm/cold = %d/%d, want 2 total", done.Warm, done.Cold)
+	}
+}
+
+type codedErr struct{}
+
+func (codedErr) Error() string { return "boom" }
+func (codedErr) Code() string  { return "test_code" }
+
+// TestResumeWarmAccounting is the restart-resume contract at queue
+// level: items checkpointed as pending re-run through the runner's cache
+// and land warm, so a resumed job costs zero fresh computations.
+func TestResumeWarmAccounting(t *testing.T) {
+	sr := &storeRunner{store: map[string]json.RawMessage{}}
+
+	// Run the batch to completion once — this is "before the kill", and
+	// populates the store.
+	dir1 := t.TempDir()
+	q1, err := Open(Options{Dir: dir1, Schema: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _, err := q1.Submit(items(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q1.Start(2, sr.run)
+	first := waitState(t, q1, v.ID, StateCompleted)
+	q1.Close()
+	if first.Cold != 4 || first.Warm != 0 || sr.computed != 4 {
+		t.Fatalf("first run = warm %d cold %d computed %d, want 0/4/4", first.Warm, first.Cold, sr.computed)
+	}
+
+	// "After the kill": a queue whose record says all items are still
+	// pending (submitted, never run), over the now-populated store.
+	dir2 := t.TempDir()
+	q2, err := Open(Options{Dir: dir2, Schema: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := q2.Submit(items(4)); err != nil {
+		t.Fatal(err)
+	}
+	q2.Close() // checkpoint: all pending
+
+	q3, err := Open(Options{Dir: dir2, Schema: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q3.Close()
+	q3.Start(2, sr.run)
+	resumed := waitState(t, q3, v.ID, StateCompleted)
+	if resumed.Warm != 4 || resumed.Cold != 0 {
+		t.Fatalf("resumed run = warm %d cold %d, want 4/0", resumed.Warm, resumed.Cold)
+	}
+	if sr.computed != 4 {
+		t.Fatalf("resume recomputed stored items: computed = %d, want 4", sr.computed)
+	}
+
+	// Items already done at the checkpoint never reach the runner again:
+	// reopening the completed dir1 queue with workers invokes nothing.
+	q4, err := Open(Options{Dir: dir1, Schema: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q4.Close()
+	q4.Start(2, func(req json.RawMessage) (json.RawMessage, bool, error) {
+		t.Errorf("completed item re-ran: %s", req)
+		return echoRunner(req)
+	})
+	kept, ok := q4.Get(v.ID)
+	if !ok || kept.State != StateCompleted || kept.Warm != 0 || kept.Cold != 4 {
+		t.Fatalf("completed job after reopen = %+v (ok=%v)", kept, ok)
+	}
+	time.Sleep(20 * time.Millisecond) // give a buggy re-run a chance to fire
+}
+
+func TestConcurrentSubmitPollCancel(t *testing.T) {
+	q, err := Open(Options{Dir: t.TempDir(), Schema: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Start(4, echoRunner)
+
+	const workers = 8
+	var wg sync.WaitGroup
+	ids := make([]string, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			batch := []json.RawMessage{json.RawMessage(fmt.Sprintf(`{"w":%d}`, w))}
+			for i := 0; i < 20; i++ {
+				v, _, err := q.Submit(batch)
+				if err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+				ids[w] = v.ID
+				q.Get(v.ID)
+				q.List("")
+				q.Stats()
+				if w%3 == 0 {
+					q.Cancel(v.ID)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	q.Close()
+
+	// Post-close invariant: Close waits for in-flight items, so nothing
+	// is left mid-run — every item is pending (checkpointed backlog for
+	// the next open), done, failed, or cancelled.
+	for w, id := range ids {
+		v, ok := q.Get(id)
+		if !ok {
+			t.Errorf("worker %d job missing", w)
+			continue
+		}
+		for _, it := range v.Items {
+			if it.State == ItemRunning {
+				t.Errorf("worker %d job item still running after Close: %+v", w, v)
+			}
+		}
+	}
+}
+
+func TestListFilterAndOrder(t *testing.T) {
+	q, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	a, _, _ := q.Submit(items(1))
+	b, _, _ := q.Submit(items(2))
+	q.Cancel(b.ID)
+
+	all := q.List("")
+	if len(all) != 2 || all[0].ID != a.ID || all[1].ID != b.ID {
+		t.Fatalf("list order wrong: %+v", all)
+	}
+	if all[0].Items != nil {
+		t.Error("List must not carry items")
+	}
+	pend := q.List(StatePending)
+	if len(pend) != 1 || pend[0].ID != a.ID {
+		t.Fatalf("pending filter = %+v", pend)
+	}
+	canc := q.List(StateCancelled)
+	if len(canc) != 1 || canc[0].ID != b.ID {
+		t.Fatalf("cancelled filter = %+v", canc)
+	}
+}
+
+func TestClosedQueueRefusesWork(t *testing.T) {
+	q, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _, _ := q.Submit(items(1))
+	q.Close()
+	if _, _, err := q.Submit(items(2)); !errors.Is(err, ErrClosed) {
+		t.Errorf("submit after close: %v, want ErrClosed", err)
+	}
+	if _, err := q.Cancel(v.ID); !errors.Is(err, ErrClosed) {
+		t.Errorf("cancel after close: %v, want ErrClosed", err)
+	}
+	// Reads still work.
+	if _, ok := q.Get(v.ID); !ok {
+		t.Error("get after close lost the job")
+	}
+	q.Close() // idempotent
+}

@@ -63,11 +63,30 @@ func simConfigKey(cfg sim.Config) string {
 // through this function) share arenas safely; the memoized Result never
 // aliases pooled memory.
 func Analyze(an *core.Analyzer, b *isa.Block, m *uarch.Model) (*core.Result, error) {
+	res, _, err := AnalyzeWarm(an, b, m)
+	return res, err
+}
+
+// AnalyzeWarm is Analyze reporting provenance: warm is true when this
+// call was served without a fresh computation — a memo hit, a
+// singleflight attach to another requester's in-flight computation, or
+// a store read. It is the per-item resume-accounting hook the job queue
+// uses: after a kill-and-restart, a resumed job's already-stored items
+// come back warm, and the cold count exposes exactly what was truly
+// recomputed.
+//
+// The flag is race-free by construction: the computed variable is
+// written only inside the compute closure, which the memo tier runs
+// under sync.Once — callers that did not execute it never observe a
+// write.
+func AnalyzeWarm(an *core.Analyzer, b *isa.Block, m *uarch.Model) (*core.Result, bool, error) {
 	key := "analyze\x00" + an.Fingerprint() + "\x00" + m.CacheKey() + "\x00" + BlockKey(b)
-	return doStored(shared, key,
+	computed := false
+	res, err := doStored(shared, key,
 		(*core.Result).MarshalStable,
 		func(data []byte) (*core.Result, error) { return core.UnmarshalStable(data, b, m) },
-		func() (*core.Result, error) { return an.Analyze(b, m) })
+		func() (*core.Result, error) { computed = true; return an.Analyze(b, m) })
+	return res, err == nil && !computed, err
 }
 
 // Simulate memoizes sim.Run by (machine model, simulator config, block

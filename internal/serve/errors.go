@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// The redesigned error contract: every non-2xx response from every
+// /v1/* handler carries one envelope —
+//
+//	{"error": {"code": "<machine_code>", "message": "...", "request_id": "..."}}
+//
+// The code is a stable machine-readable discriminator (clients switch
+// on it; the message is for humans and may change wording), and the
+// request ID ties the failure to the access log line and the client's
+// own tracing. HTTP statuses are unchanged from the pre-envelope API;
+// the code⇄status table below is pinned by TestErrorEnvelopeTable so
+// the contract cannot drift silently.
+
+// ErrorCode enumerates the machine-readable error discriminators.
+type ErrorCode string
+
+const (
+	// CodeInvalidRequest covers malformed bodies, missing fields, bad
+	// query parameters, and unparseable assembly — client errors with
+	// nothing more specific to say. Status 400.
+	CodeInvalidRequest ErrorCode = "invalid_request"
+	// CodeModelNotFound marks an unknown machine-model key. Status 400
+	// on analyze/batch/jobs items (the request is malformed), 404 on
+	// GET /v1/models/{key} (the resource is absent).
+	CodeModelNotFound ErrorCode = "model_not_found"
+	// CodeBodyTooLarge marks a request body over the configured cap,
+	// rejected before parsing. Status 413.
+	CodeBodyTooLarge ErrorCode = "body_too_large"
+	// CodeBlockTooLarge marks a parsed block over the instruction cap,
+	// rejected before analysis. Status 413.
+	CodeBlockTooLarge ErrorCode = "block_too_large"
+	// CodeAnalysisTimeout marks an analysis that exceeded the deadline;
+	// the worker was released. Status 503.
+	CodeAnalysisTimeout ErrorCode = "analysis_timeout"
+	// CodeModelConflict marks a registration whose key is already bound
+	// to different content. Status 409.
+	CodeModelConflict ErrorCode = "model_conflict"
+	// CodeJobNotFound marks an unknown job ID. Status 404.
+	CodeJobNotFound ErrorCode = "job_not_found"
+	// CodeRegistryFull marks a refused registration beyond the model
+	// cap. Status 507.
+	CodeRegistryFull ErrorCode = "registry_full"
+	// CodeQueueFull marks a refused job submission beyond the retained
+	// job cap. Status 507.
+	CodeQueueFull ErrorCode = "queue_full"
+)
+
+// apiError pins a machine code and HTTP status to an error. It is the
+// one typed error the handlers produce; everything that reaches a
+// response writer is either an apiError or classified into one.
+type apiError struct {
+	code   ErrorCode
+	status int
+	err    error
+}
+
+func (e *apiError) Error() string { return e.err.Error() }
+func (e *apiError) Unwrap() error { return e.err }
+
+// Code satisfies the jobqueue's optional coded-error interface, so a
+// failed job item persists its machine code next to its message.
+func (e *apiError) Code() string { return string(e.code) }
+
+// apiErrorf builds an apiError in one line.
+func apiErrorf(code ErrorCode, status int, format string, args ...any) *apiError {
+	return &apiError{code: code, status: status, err: fmt.Errorf(format, args...)}
+}
+
+// wrapAPIError attaches code and status to an existing error, keeping
+// it unwrappable.
+func wrapAPIError(code ErrorCode, status int, err error) *apiError {
+	return &apiError{code: code, status: status, err: err}
+}
+
+// classify maps any handler error to its response status and machine
+// code: explicit apiErrors keep theirs, body-limit violations from
+// http.MaxBytesReader are 413/body_too_large, everything else is a
+// generic client error.
+func classify(err error) (int, ErrorCode) {
+	var ae *apiError
+	if errors.As(err, &ae) {
+		return ae.status, ae.code
+	}
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge, CodeBodyTooLarge
+	}
+	return http.StatusBadRequest, CodeInvalidRequest
+}
+
+// errorDetail is the inner error object of the envelope.
+type errorDetail struct {
+	Code      ErrorCode `json:"code"`
+	Message   string    `json:"message"`
+	RequestID string    `json:"request_id"`
+}
+
+// errorEnvelope is the unified JSON error body for every non-2xx
+// response.
+type errorEnvelope struct {
+	Error errorDetail `json:"error"`
+}
+
+// writeError renders err as the unified envelope, echoing the request's
+// ID (set by the middleware before any handler runs).
+func writeError(w http.ResponseWriter, r *http.Request, err error) {
+	status, code := classify(err)
+	writeJSON(w, status, errorEnvelope{Error: errorDetail{
+		Code:      code,
+		Message:   err.Error(),
+		RequestID: requestIDFrom(r.Context()),
+	}})
+}

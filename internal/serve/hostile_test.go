@@ -19,7 +19,12 @@ import (
 
 func newServerWith(t *testing.T, opt Options) *httptest.Server {
 	t.Helper()
-	ts := httptest.NewServer(NewWithOptions(opt).Handler())
+	api, err := NewWithOptions(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(api.Close)
+	ts := httptest.NewServer(api.Handler())
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -66,9 +71,12 @@ func TestInstructionCapRejectsWith413(t *testing.T) {
 	if resp.StatusCode != http.StatusRequestEntityTooLarge {
 		t.Fatalf("status = %d, want 413; body: %s", resp.StatusCode, body)
 	}
-	var eb errorBody
-	if err := json.Unmarshal(body, &eb); err != nil || !strings.Contains(eb.Error, "limit is 8") {
+	var eb errorEnvelope
+	if err := json.Unmarshal(body, &eb); err != nil || !strings.Contains(eb.Error.Message, "limit is 8") {
 		t.Fatalf("error body = %s", body)
+	}
+	if eb.Error.Code != CodeBlockTooLarge {
+		t.Fatalf("error code = %q, want %q", eb.Error.Code, CodeBlockTooLarge)
 	}
 	// Exactly at the cap passes.
 	resp2, body2 := post(t, ts, "/v1/analyze", AnalyzeRequest{Arch: "goldencove",
@@ -103,9 +111,12 @@ func TestAnalysisDeadlineReturns503(t *testing.T) {
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("status = %d, want 503; body: %.200s", resp.StatusCode, body)
 	}
-	var eb errorBody
-	if err := json.Unmarshal(body, &eb); err != nil || !strings.Contains(eb.Error, "deadline") {
+	var eb errorEnvelope
+	if err := json.Unmarshal(body, &eb); err != nil || !strings.Contains(eb.Error.Message, "deadline") {
 		t.Fatalf("error body = %s", body)
+	}
+	if eb.Error.Code != CodeAnalysisTimeout {
+		t.Fatalf("error code = %q, want %q", eb.Error.Code, CodeAnalysisTimeout)
 	}
 	// The worker is released, not wedged: a trivial request on the same
 	// server answers inside the same deadline.

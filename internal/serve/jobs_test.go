@@ -1,0 +1,346 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"incore/internal/jobqueue"
+)
+
+// newJobServer builds a Server (not just its httptest wrapper) so tests
+// can close it explicitly to simulate shutdown/restart over one JobsDir.
+func newJobServer(t *testing.T, opt Options) (*Server, *httptest.Server) {
+	t.Helper()
+	api, err := NewWithOptions(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(api.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(api.Close)
+	return api, ts
+}
+
+func getJSON(t *testing.T, ts *httptest.Server, path string, v any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("decoding %s: %v", path, err)
+	}
+	return resp
+}
+
+// pollJob polls GET /v1/jobs/{id} until the job reaches want.
+func pollJob(t *testing.T, ts *httptest.Server, id string, want jobqueue.JobState) jobqueue.JobView {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var view jobqueue.JobView
+		resp := getJSON(t, ts, "/v1/jobs/"+id, &view)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("poll status = %d", resp.StatusCode)
+		}
+		if view.State == want {
+			return view
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s, want %s: %+v", id, view.State, want, view)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// jobBatch builds a batch whose blocks are unique to tag, so nothing in
+// the process-wide memo cache from other tests can satisfy them.
+func jobBatch(tag string, n int) BatchRequest {
+	reqs := make([]AnalyzeRequest, n)
+	for i := range reqs {
+		reqs[i] = AnalyzeRequest{
+			Arch: "goldencove",
+			Asm:  fmt.Sprintf(".L0:\n\taddq $%s%d, %%rax\n\tcmpq %%rbx, %%rax\n\tjb .L0\n", tag, i),
+			Name: fmt.Sprintf("job-%s-%d", tag, i),
+		}
+	}
+	return BatchRequest{Requests: reqs}
+}
+
+func TestJobSubmitPollDedupe(t *testing.T) {
+	_, ts := newJobServer(t, Options{JobsDir: t.TempDir(), JobWorkers: 2})
+	tag := fmt.Sprintf("%d", time.Now().UnixNano())
+	batch := jobBatch(tag, 3)
+
+	resp, body := post(t, ts, "/v1/jobs", batch)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d, body %s", resp.StatusCode, body)
+	}
+	var sub JobSubmitResponse
+	if err := json.Unmarshal(body, &sub); err != nil {
+		t.Fatal(err)
+	}
+	if sub.ID == "" || !sub.Created || sub.Total != 3 {
+		t.Fatalf("submit response = %+v", sub)
+	}
+
+	done := pollJob(t, ts, sub.ID, jobqueue.StateCompleted)
+	if done.Completed != 3 || done.Failed != 0 {
+		t.Fatalf("job = %+v", done)
+	}
+	for i, it := range done.Items {
+		var ar AnalyzeResponse
+		if err := json.Unmarshal(it.Result, &ar); err != nil {
+			t.Fatalf("item %d result: %v", i, err)
+		}
+		if ar.Name != batch.Requests[i].Name || ar.Prediction <= 0 {
+			t.Fatalf("item %d analysis = %+v", i, ar)
+		}
+	}
+
+	// Resubmitting identical content: 200, created=false, same ID.
+	resp2, body2 := post(t, ts, "/v1/jobs", batch)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("dedupe status = %d, body %s", resp2.StatusCode, body2)
+	}
+	var sub2 JobSubmitResponse
+	if err := json.Unmarshal(body2, &sub2); err != nil {
+		t.Fatal(err)
+	}
+	if sub2.Created || sub2.ID != sub.ID {
+		t.Fatalf("dedupe response = %+v, want created=false id=%s", sub2, sub.ID)
+	}
+
+	// The listing carries it; a state filter narrows.
+	var list JobListResponse
+	getJSON(t, ts, "/v1/jobs", &list)
+	if list.Total != 1 || len(list.Jobs) != 1 || list.Jobs[0].ID != sub.ID {
+		t.Fatalf("listing = %+v", list)
+	}
+	getJSON(t, ts, "/v1/jobs?state=pending", &list)
+	if list.Total != 0 {
+		t.Fatalf("pending filter = %+v", list)
+	}
+}
+
+func TestJobItemErrorIsolation(t *testing.T) {
+	_, ts := newJobServer(t, Options{JobsDir: t.TempDir(), JobWorkers: 2})
+	tag := fmt.Sprintf("%d", time.Now().UnixNano())
+	batch := jobBatch(tag, 2)
+	batch.Requests = append(batch.Requests, AnalyzeRequest{Arch: "nosucharch", Asm: "\tnop\n"})
+
+	_, body := post(t, ts, "/v1/jobs", batch)
+	var sub JobSubmitResponse
+	if err := json.Unmarshal(body, &sub); err != nil {
+		t.Fatal(err)
+	}
+	done := pollJob(t, ts, sub.ID, jobqueue.StateCompleted)
+	if done.Completed != 2 || done.Failed != 1 {
+		t.Fatalf("job = %+v, want 2 done / 1 failed", done)
+	}
+	bad := done.Items[2]
+	if bad.State != jobqueue.ItemError || bad.Code != string(CodeModelNotFound) {
+		t.Fatalf("failed item = %+v, want error with code %s", bad, CodeModelNotFound)
+	}
+}
+
+func TestJobCancel(t *testing.T) {
+	// Negative JobWorkers: a submit-only server, so items stay pending
+	// and cancellation is deterministic.
+	_, ts := newJobServer(t, Options{JobsDir: t.TempDir(), JobWorkers: -1})
+	tag := fmt.Sprintf("%d", time.Now().UnixNano())
+
+	_, body := post(t, ts, "/v1/jobs", jobBatch(tag, 3))
+	var sub JobSubmitResponse
+	if err := json.Unmarshal(body, &sub); err != nil {
+		t.Fatal(err)
+	}
+	if sub.Status != jobqueue.StatePending {
+		t.Fatalf("submit status = %s, want pending", sub.Status)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+sub.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var view jobqueue.JobView
+	err = json.NewDecoder(resp.Body).Decode(&view)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel status = %d err = %v", resp.StatusCode, err)
+	}
+	if view.State != jobqueue.StateCancelled || view.Cancelled != 3 {
+		t.Fatalf("cancelled job = %+v", view)
+	}
+
+	// Cancelling a job that does not exist is a 404 with the job code.
+	req, _ = http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/nope", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env errorEnvelope
+	err = json.NewDecoder(resp.Body).Decode(&env)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusNotFound || env.Error.Code != CodeJobNotFound {
+		t.Fatalf("missing-job cancel = %d %+v (err %v)", resp.StatusCode, env, err)
+	}
+}
+
+// TestJobRestartResume is the tentpole contract end to end at package
+// level: a job checkpointed as pending by one server completes on a
+// fresh server over the same JobsDir, and items whose analyses are
+// already in the process-wide cache land warm — zero recomputation.
+func TestJobRestartResume(t *testing.T) {
+	jobsDir := t.TempDir()
+	tag := fmt.Sprintf("%d", time.Now().UnixNano())
+	batch := jobBatch(tag, 4)
+
+	// Warm the cache: run the same blocks through an unrelated
+	// memory-only server first (this is "the work the killed server had
+	// already stored").
+	_, warmTS := newJobServer(t, Options{JobWorkers: -1})
+	if resp, body := post(t, warmTS, "/v1/batch", batch); resp.StatusCode != http.StatusOK {
+		t.Fatalf("warmup batch = %d %s", resp.StatusCode, body)
+	}
+
+	// Server one: accept the job, never run it, shut down. This is the
+	// restart-resume worst case — every item still pending at the kill.
+	api1, ts1 := newJobServer(t, Options{JobsDir: jobsDir, JobWorkers: -1})
+	_, body := post(t, ts1, "/v1/jobs", batch)
+	var sub JobSubmitResponse
+	if err := json.Unmarshal(body, &sub); err != nil {
+		t.Fatal(err)
+	}
+	api1.Close()
+	ts1.Close()
+
+	// Server two: same JobsDir, workers on. The job resumes without
+	// resubmission and every item is answered from cache.
+	_, ts2 := newJobServer(t, Options{JobsDir: jobsDir, JobWorkers: 2})
+	done := pollJob(t, ts2, sub.ID, jobqueue.StateCompleted)
+	if done.Completed != 4 || done.Failed != 0 {
+		t.Fatalf("resumed job = %+v", done)
+	}
+	if done.Warm != 4 || done.Cold != 0 {
+		t.Fatalf("resume accounting = warm %d / cold %d, want 4/0 (stored items must not recompute)", done.Warm, done.Cold)
+	}
+	for i, it := range done.Items {
+		if !it.Warm {
+			t.Errorf("item %d recomputed on resume", i)
+		}
+	}
+
+	// The queue depth surfaced in /healthz is drained.
+	var h HealthResponse
+	getJSON(t, ts2, "/healthz", &h)
+	if h.Jobs.Depth != 0 || h.Jobs.Completed < 1 {
+		t.Fatalf("healthz jobs = %+v", h.Jobs)
+	}
+}
+
+func TestJobQueueFullAndBadRequests(t *testing.T) {
+	_, ts := newJobServer(t, Options{JobsDir: t.TempDir(), JobWorkers: -1, MaxJobs: 1})
+	tag := fmt.Sprintf("%d", time.Now().UnixNano())
+
+	if resp, body := post(t, ts, "/v1/jobs", jobBatch(tag+"a", 1)); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit = %d %s", resp.StatusCode, body)
+	}
+	resp, body := post(t, ts, "/v1/jobs", jobBatch(tag+"b", 1))
+	var env errorEnvelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusInsufficientStorage || env.Error.Code != CodeQueueFull {
+		t.Fatalf("over-cap submit = %d %+v", resp.StatusCode, env)
+	}
+
+	// An empty job is invalid, not accepted-and-instantly-complete.
+	resp, body = post(t, ts, "/v1/jobs", BatchRequest{})
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest || env.Error.Code != CodeInvalidRequest {
+		t.Fatalf("empty submit = %d %+v", resp.StatusCode, env)
+	}
+
+	// Unknown state filter on the listing.
+	r, err := http.Get(ts.URL + "/v1/jobs?state=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bogus state filter = %d", r.StatusCode)
+	}
+
+	// Polling an unknown job is a 404 with job_not_found.
+	r, err = http.Get(ts.URL + "/v1/jobs/deadbeef")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = json.NewDecoder(r.Body).Decode(&env)
+	r.Body.Close()
+	if err != nil || r.StatusCode != http.StatusNotFound || env.Error.Code != CodeJobNotFound {
+		t.Fatalf("unknown job poll = %d %+v (err %v)", r.StatusCode, env, err)
+	}
+}
+
+// TestJobHammer drives concurrent submits, polls, and cancels through
+// the HTTP surface; run under -race by the CI test job.
+func TestJobHammer(t *testing.T) {
+	_, ts := newJobServer(t, Options{JobsDir: t.TempDir(), JobWorkers: 4})
+	tag := fmt.Sprintf("%d", time.Now().UnixNano())
+
+	const workers = 8
+	var wg sync.WaitGroup
+	ids := make([]string, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			batch := jobBatch(fmt.Sprintf("%s-%d", tag, w), 2)
+			for i := 0; i < 6; i++ {
+				resp, body := post(t, ts, "/v1/jobs", batch)
+				if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+					t.Errorf("submit status = %d: %s", resp.StatusCode, body)
+					return
+				}
+				var sub JobSubmitResponse
+				if err := json.Unmarshal(body, &sub); err != nil {
+					t.Error(err)
+					return
+				}
+				ids[w] = sub.ID
+				r, err := http.Get(ts.URL + "/v1/jobs/" + sub.ID)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				r.Body.Close()
+				if w%3 == 0 {
+					req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+sub.ID, nil)
+					if cr, err := http.DefaultClient.Do(req); err == nil {
+						cr.Body.Close()
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Every surviving (uncancelled) job drains to a terminal state.
+	for w, id := range ids {
+		if w%3 == 0 {
+			continue
+		}
+		pollJob(t, ts, id, jobqueue.StateCompleted)
+	}
+}

@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"net/http"
+	"time"
+
+	"incore/internal/pipeline"
+	"incore/internal/store"
+)
+
+// Request-ID middleware: every request gets an ID — the client's
+// X-Request-Id when it sends a well-formed one, a generated one
+// otherwise — echoed on the response header, injected into the error
+// envelope, and stamped on the access-log line. A job submitted under
+// one request ID can be traced from submission through every poll to
+// the log, end to end.
+
+type ctxKey int
+
+const requestIDKey ctxKey = 0
+
+// maxRequestIDLen bounds an accepted client request ID; anything longer
+// (or containing bytes outside the log-safe set) is replaced, not
+// echoed — a header is hostile input like any other.
+const maxRequestIDLen = 64
+
+// requestIDFrom returns the request's ID, or "" outside a request.
+func requestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+// validRequestID accepts IDs built from log- and header-safe bytes.
+func validRequestID(id string) bool {
+	if id == "" || len(id) > maxRequestIDLen {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// newRequestID generates a 16-hex-char random ID.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "rid-unavailable"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// statusWriter captures the response status for the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// withRequestID wraps the route table with ID assignment and, when an
+// access logger is configured, one line per request: method, path,
+// status, duration, request ID, and the persistent store's warm/cold
+// lookup delta over the request window (approximate under concurrent
+// traffic, exact when requests are serialized — see store.Stats.Sub).
+func (s *Server) withRequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-Id")
+		if !validRequestID(id) {
+			id = newRequestID()
+		}
+		w.Header().Set("X-Request-Id", id)
+		ctx := context.WithValue(r.Context(), requestIDKey, id)
+		if s.accessLog == nil {
+			next.ServeHTTP(w, r.WithContext(ctx))
+			return
+		}
+		var before store.Stats
+		st := pipeline.PersistentStore()
+		if st != nil {
+			before = st.Stats()
+		}
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(sw, r.WithContext(ctx))
+		var warm, cold uint64
+		if st != nil {
+			d := st.Stats().Sub(before)
+			warm, cold = d.Warm(), d.Misses
+		}
+		s.accessLog.Printf("%s %s status=%d dur=%s rid=%s warm=%d cold=%d",
+			r.Method, r.URL.Path, sw.status, time.Since(start).Round(time.Microsecond), id, warm, cold)
+	})
+}

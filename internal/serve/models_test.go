@@ -137,12 +137,12 @@ func TestRegisterExportRoundTrip(t *testing.T) {
 	}
 	listing, _ := io.ReadAll(resp2.Body)
 	resp2.Body.Close()
-	var infos []ModelInfo
-	if err := json.Unmarshal(listing, &infos); err != nil {
+	var list ModelList
+	if err := json.Unmarshal(listing, &list); err != nil {
 		t.Fatal(err)
 	}
 	found := false
-	for _, info := range infos {
+	for _, info := range list.Models {
 		if info.Key == "serve-custom-rt" {
 			found = true
 			if info.Fingerprint != m.Fingerprint() || !info.HasNodeParams {

@@ -6,14 +6,22 @@
 // share one cache and one determinism contract. Analyzing a block over
 // HTTP returns exactly what cmd/osaca prints for the same input.
 //
-// Endpoints:
+// Endpoints (see API.md for the full request/response contract):
 //
-//	POST /v1/analyze       one assembly block         → AnalyzeResponse
-//	POST /v1/batch         many blocks in one call    → BatchResponse
-//	GET  /v1/models        registered machine models  → []ModelInfo
-//	POST /v1/models        register a machine file    → ModelRegistered
-//	GET  /v1/models/{key}  export one machine file    → machine-file JSON
-//	GET  /healthz          liveness + cache stats     → HealthResponse
+//	POST   /v1/analyze       one assembly block         → AnalyzeResponse
+//	POST   /v1/batch         many blocks in one call    → BatchResponse
+//	POST   /v1/jobs          enqueue a durable batch    → JobSubmitResponse (202)
+//	GET    /v1/jobs/{id}     poll status + results      → jobqueue.JobView
+//	GET    /v1/jobs          list jobs (?state=)        → JobListResponse
+//	DELETE /v1/jobs/{id}     cancel pending items       → jobqueue.JobView
+//	GET    /v1/models        models (?limit/offset/arch)→ ModelList
+//	POST   /v1/models        register a machine file    → ModelRegistered
+//	GET    /v1/models/{key}  export one machine file    → machine-file JSON
+//	GET    /healthz          liveness + accounting      → HealthResponse
+//
+// Every response echoes an X-Request-Id (client-supplied or generated),
+// and every non-2xx response carries the unified error envelope
+// {"error":{"code","message","request_id"}} — see errors.go.
 //
 // Machine models are content-addressed: every model has a fingerprint
 // (sha256 of its canonical machine file) and results are cached under
@@ -27,14 +35,17 @@ import (
 	"bytes"
 	"crypto/sha256"
 	"encoding/json"
-	"errors"
 	"fmt"
+	"log"
 	"net/http"
+	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
 	"incore/internal/core"
 	"incore/internal/isa"
+	"incore/internal/jobqueue"
 	"incore/internal/pipeline"
 	"incore/internal/store"
 	"incore/internal/uarch"
@@ -126,9 +137,12 @@ type BatchRequest struct {
 }
 
 // BatchItem is one batch result: exactly one of Result or Error is set.
+// Code carries the machine error code (same vocabulary as the top-level
+// error envelope) when Error is set.
 type BatchItem struct {
 	Result *AnalyzeResponse `json:"result,omitempty"`
 	Error  string           `json:"error,omitempty"`
+	Code   string           `json:"code,omitempty"`
 }
 
 // BatchResponse is the ordered outcome of a batch call.
@@ -165,18 +179,24 @@ type ModelRegistered struct {
 	Created bool `json:"created"`
 }
 
-// HealthResponse reports liveness plus the cache accounting that serves
-// as the performance observable (hit counts, not wall-clock).
+// ModelList is the paginated answer to GET /v1/models: the requested
+// page plus the total match count before pagination.
+type ModelList struct {
+	Models []ModelInfo `json:"models"`
+	Total  int         `json:"total"`
+}
+
+// HealthResponse reports liveness plus the accounting that serves as
+// the performance observable (hit counts and queue depths, not
+// wall-clock).
 type HealthResponse struct {
 	Status string         `json:"status"`
 	Models int            `json:"models"`
 	Cache  pipeline.Stats `json:"cache"`
 	Store  *store.Stats   `json:"store,omitempty"`
-}
-
-// errorBody is the JSON error envelope for non-2xx responses.
-type errorBody struct {
-	Error string `json:"error"`
+	// Jobs reports the job queue: backlog depth and per-state job
+	// counts next to the store accounting.
+	Jobs jobqueue.Stats `json:"jobs"`
 }
 
 // maxInlineModels bounds the parsed-inline-machine cache; above it the
@@ -192,8 +212,9 @@ const maxInlineModels = 128
 // unaffected.
 const maxRegisteredModels = 1024
 
-// Options bound what one request may cost the server. Zero values mean
-// the package defaults; AnalysisTimeout < 0 disables the deadline.
+// Options bound what one request may cost the server and configure the
+// job queue. Zero values mean the package defaults; AnalysisTimeout < 0
+// disables the deadline.
 type Options struct {
 	// MaxBodyBytes caps a request body; over-limit bodies are rejected
 	// with 413 before any parsing.
@@ -204,8 +225,21 @@ type Options struct {
 	// AnalysisTimeout bounds one block's analysis. A request exceeding
 	// it gets a 503 and its worker is released; the abandoned
 	// computation finishes at most once (memo singleflight) and is
-	// discarded.
+	// discarded. Job items run under the same deadline.
 	AnalysisTimeout time.Duration
+	// JobsDir is the durable root for /v1/jobs records; empty keeps the
+	// queue in memory (the endpoints work, jobs die with the process).
+	JobsDir string
+	// JobWorkers sets how many queue workers drain job items
+	// (0 selects GOMAXPROCS; negative starts none, for submit-only
+	// tests).
+	JobWorkers int
+	// MaxJobs bounds retained job records (0 selects the jobqueue
+	// default); submissions beyond it are refused with 507.
+	MaxJobs int
+	// AccessLog, when non-nil, receives one line per request: method,
+	// path, status, duration, request ID, and the store warm/cold delta.
+	AccessLog *log.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -223,8 +257,10 @@ func (o Options) withDefaults() Options {
 
 // Server handles analysis requests with one analyzer configuration.
 type Server struct {
-	an  *core.Analyzer
-	opt Options
+	an        *core.Analyzer
+	opt       Options
+	jobs      *jobqueue.Queue
+	accessLog *log.Logger
 
 	// inlineMu guards inline, a cache of parsed inline machine files
 	// keyed by the sha256 of their raw JSON, so repeated requests
@@ -236,54 +272,67 @@ type Server struct {
 
 // New returns a server with OSACA-like analyzer defaults — the same
 // configuration cmd/osaca and the experiment runners use, so all three
-// share cache entries — and default hostile-input limits.
+// share cache entries — default hostile-input limits, and a memory-only
+// job queue.
 func New() *Server {
-	return NewWithOptions(Options{})
-}
-
-// NewWithOptions is New with explicit hostile-input limits.
-func NewWithOptions(opt Options) *Server {
-	return &Server{
-		an:     core.New(),
-		opt:    opt.withDefaults(),
-		inline: make(map[[sha256.Size]byte]*uarch.Model),
+	s, err := NewWithOptions(Options{})
+	if err != nil {
+		// Unreachable: only opening a durable queue directory can fail,
+		// and the zero Options select a memory-only queue.
+		panic(err)
 	}
+	return s
 }
 
-// statusError pins a specific HTTP status to an error.
-type statusError struct {
-	code int
-	err  error
-}
-
-func (e *statusError) Error() string { return e.err.Error() }
-func (e *statusError) Unwrap() error { return e.err }
-
-// httpStatus maps a request-handling error to its response status:
-// explicit statusErrors keep their code, body-limit violations are 413,
-// everything else is a client error.
-func httpStatus(err error) int {
-	var se *statusError
-	if errors.As(err, &se) {
-		return se.code
+// NewWithOptions is New with explicit limits and job-queue
+// configuration. The error is non-nil only when a durable JobsDir
+// cannot be opened. Callers own the returned server's lifecycle: Close
+// stops the queue workers and checkpoints in-flight jobs.
+func NewWithOptions(opt Options) (*Server, error) {
+	opt = opt.withDefaults()
+	q, err := jobqueue.Open(jobqueue.Options{Dir: opt.JobsDir, Schema: jobsSchema(), MaxJobs: opt.MaxJobs})
+	if err != nil {
+		return nil, err
 	}
-	var mbe *http.MaxBytesError
-	if errors.As(err, &mbe) {
-		return http.StatusRequestEntityTooLarge
+	s := &Server{
+		an:        core.New(),
+		opt:       opt,
+		jobs:      q,
+		accessLog: opt.AccessLog,
+		inline:    make(map[[sha256.Size]byte]*uarch.Model),
 	}
-	return http.StatusBadRequest
+	workers := opt.JobWorkers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > 0 {
+		q.Start(workers, s.runJobItem)
+	}
+	return s, nil
 }
 
-// Handler returns the route table.
+// Close stops the job-queue workers, waits for in-flight items, and
+// checkpoints every job so a later server over the same JobsDir resumes
+// where this one stopped. Idempotent.
+func (s *Server) Close() { s.jobs.Close() }
+
+// JobStats exposes the queue accounting (for /healthz and tests).
+func (s *Server) JobStats() jobqueue.Stats { return s.jobs.Stats() }
+
+// Handler returns the route table wrapped in the request-ID middleware.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
+	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	mux.HandleFunc("GET /v1/models", s.handleModels)
 	mux.HandleFunc("POST /v1/models", s.handleRegisterModel)
 	mux.HandleFunc("GET /v1/models/{key}", s.handleExportModel)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	return mux
+	return s.withRequestID(mux)
 }
 
 // inlineModel parses (or recalls) an inline machine file. Models land in
@@ -318,16 +367,24 @@ func (s *Server) inlineModel(raw json.RawMessage) (*uarch.Model, error) {
 func (s *Server) resolveModel(req *AnalyzeRequest) (*uarch.Model, error) {
 	if len(req.Machine) == 0 {
 		if req.Arch == "" {
-			return nil, errors.New("missing arch")
+			return nil, apiErrorf(CodeInvalidRequest, http.StatusBadRequest, "missing arch")
 		}
-		return uarch.Get(req.Arch)
+		m, err := uarch.Get(req.Arch)
+		if err != nil {
+			// 400, not 404: the resource here is the analysis, and it
+			// failed because the request named a model that does not
+			// exist — same status as before the envelope redesign.
+			return nil, wrapAPIError(CodeModelNotFound, http.StatusBadRequest, err)
+		}
+		return m, nil
 	}
 	m, err := s.inlineModel(req.Machine)
 	if err != nil {
-		return nil, err
+		return nil, wrapAPIError(CodeInvalidRequest, http.StatusBadRequest, err)
 	}
 	if req.Arch != "" && req.Arch != m.Key {
-		return nil, fmt.Errorf("arch %q does not match inline machine key %q", req.Arch, m.Key)
+		return nil, apiErrorf(CodeInvalidRequest, http.StatusBadRequest,
+			"arch %q does not match inline machine key %q", req.Arch, m.Key)
 	}
 	return m, nil
 }
@@ -337,12 +394,22 @@ func (s *Server) resolveModel(req *AnalyzeRequest) (*uarch.Model, error) {
 // an internal sync.Pool), so any number of concurrent requests share
 // scratch safely without per-request allocation storms.
 func (s *Server) analyze(req AnalyzeRequest) (*AnalyzeResponse, error) {
+	resp, _, err := s.analyzeTracked(req)
+	return resp, err
+}
+
+// analyzeTracked is analyze reporting cache provenance: warm is true
+// when the answer came from the memo tier or the persistent store
+// without a fresh computation. The job queue records the flag per item,
+// which is how a resumed job proves its already-stored items were not
+// recomputed.
+func (s *Server) analyzeTracked(req AnalyzeRequest) (*AnalyzeResponse, bool, error) {
 	if req.Asm == "" {
-		return nil, errors.New("missing asm")
+		return nil, false, apiErrorf(CodeInvalidRequest, http.StatusBadRequest, "missing asm")
 	}
 	m, err := s.resolveModel(&req)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	name := req.Name
 	if name == "" {
@@ -350,17 +417,15 @@ func (s *Server) analyze(req AnalyzeRequest) (*AnalyzeResponse, error) {
 	}
 	b, err := isa.ParseMarkedBlock(name, m.Key, m.Dialect, req.Asm)
 	if err != nil {
-		return nil, err
+		return nil, false, wrapAPIError(CodeInvalidRequest, http.StatusBadRequest, err)
 	}
 	if n := len(b.Instrs); n > s.opt.MaxBlockInstrs {
-		return nil, &statusError{
-			code: http.StatusRequestEntityTooLarge,
-			err:  fmt.Errorf("block has %d instructions, limit is %d", n, s.opt.MaxBlockInstrs),
-		}
+		return nil, false, apiErrorf(CodeBlockTooLarge, http.StatusRequestEntityTooLarge,
+			"block has %d instructions, limit is %d", n, s.opt.MaxBlockInstrs)
 	}
-	res, err := s.analyzeBounded(b, m)
+	res, warm, err := s.analyzeBounded(b, m)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	// The memoized Result may carry the block of an earlier requester
 	// with identical content but a different name; render the report
@@ -382,7 +447,7 @@ func (s *Server) analyze(req AnalyzeRequest) (*AnalyzeResponse, error) {
 		TotalUops:     res.TotalUops,
 		Coverage:      coverageInfo(res.Coverage),
 		Report:        labeled.Report(),
-	}, nil
+	}, warm, nil
 }
 
 // analyzeBounded runs the memoized analysis under the configured
@@ -391,41 +456,40 @@ func (s *Server) analyze(req AnalyzeRequest) (*AnalyzeResponse, error) {
 // once — the pipeline memo's singleflight guarantees concurrent and
 // later requests for the same key attach to that one computation rather
 // than piling up fresh ones — and its result is discarded here.
-func (s *Server) analyzeBounded(b *isa.Block, m *uarch.Model) (*core.Result, error) {
+func (s *Server) analyzeBounded(b *isa.Block, m *uarch.Model) (*core.Result, bool, error) {
 	if s.opt.AnalysisTimeout < 0 {
-		return pipeline.Analyze(s.an, b, m)
+		return pipeline.AnalyzeWarm(s.an, b, m)
 	}
 	type outcome struct {
-		res *core.Result
-		err error
+		res  *core.Result
+		warm bool
+		err  error
 	}
 	done := make(chan outcome, 1)
 	go func() {
-		res, err := pipeline.Analyze(s.an, b, m)
-		done <- outcome{res, err}
+		res, warm, err := pipeline.AnalyzeWarm(s.an, b, m)
+		done <- outcome{res, warm, err}
 	}()
 	t := time.NewTimer(s.opt.AnalysisTimeout)
 	defer t.Stop()
 	select {
 	case o := <-done:
-		return o.res, o.err
+		return o.res, o.warm, o.err
 	case <-t.C:
-		return nil, &statusError{
-			code: http.StatusServiceUnavailable,
-			err:  fmt.Errorf("analysis exceeded the %s deadline", s.opt.AnalysisTimeout),
-		}
+		return nil, false, apiErrorf(CodeAnalysisTimeout, http.StatusServiceUnavailable,
+			"analysis exceeded the %s deadline", s.opt.AnalysisTimeout)
 	}
 }
 
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	var req AnalyzeRequest
 	if err := s.decodeBody(w, r, &req); err != nil {
-		writeJSON(w, httpStatus(err), errorBody{Error: err.Error()})
+		writeError(w, r, err)
 		return
 	}
 	resp, err := s.analyze(req)
 	if err != nil {
-		writeJSON(w, httpStatus(err), errorBody{Error: err.Error()})
+		writeError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -434,7 +498,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var req BatchRequest
 	if err := s.decodeBody(w, r, &req); err != nil {
-		writeJSON(w, httpStatus(err), errorBody{Error: err.Error()})
+		writeError(w, r, err)
 		return
 	}
 	// One pipeline map over the shared pool: batch items parallelize
@@ -444,27 +508,54 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	items, _ := pipeline.Map(pipeline.Default(), req.Requests, func(ar AnalyzeRequest) (BatchItem, error) {
 		resp, err := s.analyze(ar)
 		if err != nil {
-			return BatchItem{Error: err.Error()}, nil
+			_, code := classify(err)
+			return BatchItem{Error: err.Error(), Code: string(code)}, nil
 		}
 		return BatchItem{Result: resp}, nil
 	})
 	writeJSON(w, http.StatusOK, BatchResponse{Results: items})
 }
 
+// dialectName renders a model's dialect for the wire.
+func dialectName(m *uarch.Model) string {
+	if m.Dialect == isa.DialectAArch64 {
+		return "aarch64"
+	}
+	return "x86"
+}
+
+// handleModels lists registered models with offset/limit pagination and
+// an optional arch filter matching either a model key or a dialect
+// family ("x86", "aarch64"). Total counts matches before pagination, so
+// a client can page without a second count request.
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
-	models := uarch.All()
-	infos := make([]ModelInfo, 0, len(models))
-	for _, m := range models {
-		dialect := "x86"
-		if m.Dialect == isa.DialectAArch64 {
-			dialect = "aarch64"
+	q := r.URL.Query()
+	limit, offset := -1, 0
+	var err error
+	if v := q.Get("limit"); v != "" {
+		if limit, err = strconv.Atoi(v); err != nil || limit < 0 {
+			writeError(w, r, apiErrorf(CodeInvalidRequest, http.StatusBadRequest, "invalid limit %q", v))
+			return
+		}
+	}
+	if v := q.Get("offset"); v != "" {
+		if offset, err = strconv.Atoi(v); err != nil || offset < 0 {
+			writeError(w, r, apiErrorf(CodeInvalidRequest, http.StatusBadRequest, "invalid offset %q", v))
+			return
+		}
+	}
+	arch := q.Get("arch")
+	infos := make([]ModelInfo, 0)
+	for _, m := range uarch.All() {
+		if arch != "" && arch != m.Key && arch != dialectName(m) {
+			continue
 		}
 		infos = append(infos, ModelInfo{
 			Key:           m.Key,
 			Name:          m.Name,
 			CPU:           m.CPU,
 			Vendor:        m.Vendor,
-			Dialect:       dialect,
+			Dialect:       dialectName(m),
 			Ports:         m.Ports,
 			IssueWidth:    m.IssueWidth,
 			Fingerprint:   m.Fingerprint(),
@@ -472,7 +563,15 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 			HasNodeParams: m.Node != nil,
 		})
 	}
-	writeJSON(w, http.StatusOK, infos)
+	total := len(infos)
+	if offset > len(infos) {
+		offset = len(infos)
+	}
+	infos = infos[offset:]
+	if limit >= 0 && limit < len(infos) {
+		infos = infos[:limit]
+	}
+	writeJSON(w, http.StatusOK, ModelList{Models: infos, Total: total})
 }
 
 // handleRegisterModel registers the machine file in the request body.
@@ -483,7 +582,7 @@ func (s *Server) handleRegisterModel(w http.ResponseWriter, r *http.Request) {
 	body := http.MaxBytesReader(w, r.Body, s.opt.MaxBodyBytes)
 	m, err := uarch.ReadJSON(body)
 	if err != nil {
-		writeJSON(w, httpStatus(err), errorBody{Error: err.Error()})
+		writeError(w, r, err)
 		return
 	}
 	// Approximate cap check (racy against concurrent registrations, but
@@ -492,9 +591,8 @@ func (s *Server) handleRegisterModel(w http.ResponseWriter, r *http.Request) {
 	// keys still resolve below so idempotent posts keep working.
 	if len(uarch.Keys()) >= maxRegisteredModels {
 		if _, err := uarch.Get(m.Key); err != nil {
-			writeJSON(w, http.StatusInsufficientStorage, errorBody{
-				Error: fmt.Sprintf("model registry is full (%d models); re-register an existing key or use an inline \"machine\" object", maxRegisteredModels),
-			})
+			writeError(w, r, apiErrorf(CodeRegistryFull, http.StatusInsufficientStorage,
+				"model registry is full (%d models); re-register an existing key or use an inline \"machine\" object", maxRegisteredModels))
 			return
 		}
 	}
@@ -502,7 +600,7 @@ func (s *Server) handleRegisterModel(w http.ResponseWriter, r *http.Request) {
 	// so concurrent registrations of a key see one consistent outcome.
 	created, err := uarch.Register(m)
 	if err != nil {
-		writeJSON(w, http.StatusConflict, errorBody{Error: err.Error()})
+		writeError(w, r, wrapAPIError(CodeModelConflict, http.StatusConflict, err))
 		return
 	}
 	status := http.StatusOK
@@ -520,7 +618,7 @@ func (s *Server) handleRegisterModel(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleExportModel(w http.ResponseWriter, r *http.Request) {
 	m, err := uarch.Get(r.PathValue("key"))
 	if err != nil {
-		writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
+		writeError(w, r, wrapAPIError(CodeModelNotFound, http.StatusNotFound, err))
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -529,7 +627,12 @@ func (s *Server) handleExportModel(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	resp := HealthResponse{Status: "ok", Models: len(uarch.Keys()), Cache: pipeline.Shared().Stats()}
+	resp := HealthResponse{
+		Status: "ok",
+		Models: len(uarch.Keys()),
+		Cache:  pipeline.Shared().Stats(),
+		Jobs:   s.jobs.Stats(),
+	}
 	if st := pipeline.PersistentStore(); st != nil {
 		stats := st.Stats()
 		resp.Store = &stats

@@ -16,7 +16,9 @@ import (
 
 func newTestServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	ts := httptest.NewServer(New().Handler())
+	api := New()
+	t.Cleanup(api.Close)
+	ts := httptest.NewServer(api.Handler())
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -116,21 +118,28 @@ func TestAnalyzeHonorsMarkers(t *testing.T) {
 
 func TestAnalyzeErrors(t *testing.T) {
 	ts := newTestServer(t)
-	for name, req := range map[string]AnalyzeRequest{
-		"unknownArch": {Arch: "m1", Asm: "\taddq $8, %rax\n"},
-		"missingArch": {Asm: "\taddq $8, %rax\n"},
-		"missingAsm":  {Arch: "zen4"},
+	for name, tc := range map[string]struct {
+		req  AnalyzeRequest
+		code ErrorCode
+	}{
+		"unknownArch": {AnalyzeRequest{Arch: "m1", Asm: "\taddq $8, %rax\n"}, CodeModelNotFound},
+		"missingArch": {AnalyzeRequest{Asm: "\taddq $8, %rax\n"}, CodeInvalidRequest},
+		"missingAsm":  {AnalyzeRequest{Arch: "zen4"}, CodeInvalidRequest},
 	} {
 		t.Run(name, func(t *testing.T) {
-			resp, body := post(t, ts, "/v1/analyze", req)
+			resp, body := post(t, ts, "/v1/analyze", tc.req)
 			if resp.StatusCode != http.StatusBadRequest {
 				t.Fatalf("status = %d, want 400; body %s", resp.StatusCode, body)
 			}
-			var e struct {
-				Error string `json:"error"`
-			}
-			if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+			var e errorEnvelope
+			if err := json.Unmarshal(body, &e); err != nil || e.Error.Message == "" {
 				t.Fatalf("error body %s (err %v)", body, err)
+			}
+			if e.Error.Code != tc.code {
+				t.Fatalf("error code = %q, want %q (body %s)", e.Error.Code, tc.code, body)
+			}
+			if e.Error.RequestID == "" {
+				t.Fatalf("error envelope missing request_id: %s", body)
 			}
 		})
 	}
@@ -185,15 +194,15 @@ func TestModels(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var infos []ModelInfo
-	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+	var list ModelList
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
 		t.Fatal(err)
 	}
-	if len(infos) != len(uarch.Keys()) {
-		t.Fatalf("got %d models, want %d", len(infos), len(uarch.Keys()))
+	if len(list.Models) != len(uarch.Keys()) || list.Total != len(uarch.Keys()) {
+		t.Fatalf("got %d models (total %d), want %d", len(list.Models), list.Total, len(uarch.Keys()))
 	}
 	seen := map[string]ModelInfo{}
-	for _, mi := range infos {
+	for _, mi := range list.Models {
 		seen[mi.Key] = mi
 	}
 	if mi, ok := seen["neoversev2"]; !ok || mi.Dialect != "aarch64" || mi.IssueWidth <= 0 || len(mi.Ports) == 0 {

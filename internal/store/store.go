@@ -79,6 +79,23 @@ type Stats struct {
 // Warm returns the lookups served without recomputation.
 func (s Stats) Warm() uint64 { return s.MemHits + s.DiskHits }
 
+// Sub returns the accounting accumulated since prev was snapshotted:
+// every counter as a delta, MemEntries as the current population. The
+// serve tier uses it to attribute warm/cold lookups to one request
+// window in its access log (approximate under concurrent traffic —
+// deltas from overlapping requests interleave — but exact for the
+// serialized CI resume gate).
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		MemHits:    s.MemHits - prev.MemHits,
+		DiskHits:   s.DiskHits - prev.DiskHits,
+		Misses:     s.Misses - prev.Misses,
+		Evictions:  s.Evictions - prev.Evictions,
+		PutErrors:  s.PutErrors - prev.PutErrors,
+		MemEntries: s.MemEntries,
+	}
+}
+
 // Store is a two-tier persistent result store. It is safe for concurrent
 // use; payloads returned by Get are shared and must not be mutated.
 type Store struct {
