@@ -7,6 +7,7 @@
 // Usage:
 //
 //	serve [-addr :8080] [-cache-dir DIR] [-jobs-dir DIR] [-job-workers N] [-j N]
+//	      [-peer-store URL] [-peer-timeout D] [-peer-fault-rate F] [-peer-fault-seed N]
 //	      [-machine FILE ...] [-machine-dir DIR]
 //	      [-max-body BYTES] [-max-instrs N] [-analysis-timeout D]
 //	      [-cpuprofile FILE] [-memprofile FILE]
@@ -23,6 +24,17 @@
 // memory only. Graceful shutdown (SIGINT/SIGTERM) drains in-flight job
 // items and checkpoints every job before exit.
 //
+// -peer-store URL attaches a replica's /v1/store endpoints as a third
+// cache tier behind the local store (requires -cache-dir): local misses
+// consult the peer (verified on fetch, retried with backoff, circuit-
+// broken when the peer dies — see DESIGN.md "Fault tolerance"), and
+// local stores replicate to the peer via async write-behind. The peer
+// is strictly an optimization: any peer failure degrades to a local
+// cache miss, never to a request failure. -peer-fault-rate injects
+// deterministic faults (drops, delays, resets, truncation, corruption)
+// into peer traffic for chaos testing; results must stay byte-identical
+// at any rate.
+//
 // With -cpuprofile/-memprofile, runtime/pprof profiles cover the serving
 // window and are written on graceful shutdown.
 //
@@ -37,6 +49,8 @@
 //	GET    /v1/models?limit=10&offset=0&arch=x86
 //	POST   /v1/models   (body: machine-file JSON)
 //	GET    /v1/models/{key}
+//	GET    /v1/store/{hash}   (peer replication)
+//	PUT    /v1/store/{hash}   (peer replication)
 //	GET    /healthz
 //
 // Example:
@@ -57,8 +71,10 @@ import (
 	"syscall"
 	"time"
 
+	"incore/internal/faultinject"
 	"incore/internal/pipeline"
 	"incore/internal/profiling"
+	"incore/internal/remotestore"
 	"incore/internal/serve"
 	"incore/internal/uarch"
 )
@@ -75,6 +91,10 @@ func main() {
 	machineDir := flag.String("machine-dir", "", "register every *.json machine file in this directory at startup")
 	jobsDir := flag.String("jobs-dir", "", "durable job-queue directory (default <cache-dir>/jobs when -cache-dir is set; empty without it = in-memory jobs)")
 	jobWorkers := flag.Int("job-workers", 0, "workers draining /v1/jobs items (0 = GOMAXPROCS)")
+	peerStore := flag.String("peer-store", "", "peer replica base URL for the remote store tier (requires -cache-dir)")
+	peerTimeout := flag.Duration("peer-timeout", remotestore.DefaultTimeout, "per-attempt timeout for peer store requests")
+	peerFaultRate := flag.Float64("peer-fault-rate", 0, "inject faults into this fraction of peer requests (chaos testing; 0 = off)")
+	peerFaultSeed := flag.Int64("peer-fault-seed", 1, "deterministic seed for -peer-fault-rate")
 	maxBody := flag.Int64("max-body", serve.DefaultMaxBodyBytes, "request body size cap in bytes (413 beyond)")
 	maxInstrs := flag.Int("max-instrs", serve.DefaultMaxBlockInstrs, "per-block instruction cap (413 beyond)")
 	analysisTimeout := flag.Duration("analysis-timeout", serve.DefaultAnalysisTimeout, "per-block analysis deadline (503 beyond; negative disables)")
@@ -108,6 +128,7 @@ func main() {
 	}
 
 	nw := pipeline.SetDefaultWorkers(*workers)
+	var peer *remotestore.Client
 	if *cacheDir != "" {
 		st, err := pipeline.AttachStore(*cacheDir)
 		if err != nil {
@@ -121,6 +142,30 @@ func main() {
 			// -cache-dir flag yields a fully restart-resumable server.
 			*jobsDir = filepath.Join(*cacheDir, "jobs")
 		}
+		if *peerStore != "" {
+			var transport http.RoundTripper
+			if *peerFaultRate > 0 {
+				transport = faultinject.New(nil, faultinject.Config{Rate: *peerFaultRate, Seed: *peerFaultSeed})
+				log.Printf("serve: injecting faults into %.0f%% of peer requests (seed %d)", *peerFaultRate*100, *peerFaultSeed)
+			}
+			peer, err = remotestore.New(remotestore.Options{
+				BaseURL:   *peerStore,
+				Schema:    pipeline.StoreSchema(),
+				Timeout:   *peerTimeout,
+				Transport: transport,
+			})
+			if err != nil {
+				stopProfiles()
+				fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+				os.Exit(1)
+			}
+			st.SetRemote(peer)
+			log.Printf("serve: peer store tier at %s (timeout %s)", peer.BaseURL(), *peerTimeout)
+		}
+	} else if *peerStore != "" {
+		stopProfiles()
+		fmt.Fprintf(os.Stderr, "serve: -peer-store requires -cache-dir (the remote tier sits behind the local store)\n")
+		os.Exit(1)
 	}
 
 	api, err := serve.NewWithOptions(serve.Options{
@@ -162,6 +207,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "serve: shutdown: %v\n", err)
 		}
 		api.Close()
+		if peer != nil {
+			// Drain queued write-behind PUTs so a cleanly stopped replica
+			// leaves its peer as warm as possible.
+			peer.Close()
+		}
 		close(idle)
 	}()
 

@@ -37,6 +37,7 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"time"
 )
 
 // ItemState is the lifecycle of one job item.
@@ -190,11 +191,19 @@ type Stats struct {
 	Completed int `json:"completed"`
 	Cancelled int `json:"cancelled"`
 	// Evicted counts records self-evicted on load (stale stamp, damaged
-	// file, ID mismatch); PersistErrors counts failed checkpoints (the
+	// file, ID mismatch); PersistErrors counts surrendered checkpoints —
+	// writes that failed even after PersistRetried extra attempts (the
 	// queue stays usable; a failed write costs durability, not
 	// correctness).
-	Evicted       uint64 `json:"evicted"`
-	PersistErrors uint64 `json:"persist_errors"`
+	Evicted        uint64 `json:"evicted"`
+	PersistErrors  uint64 `json:"persist_errors"`
+	PersistRetried uint64 `json:"persist_retried,omitempty"`
+	// LastPersistError and LastPersistAt pin the most recent surrendered
+	// checkpoint — message and wall-clock time (RFC 3339) — so /healthz
+	// shows not just that durability degraded but when and why. Empty
+	// until a checkpoint fails.
+	LastPersistError string `json:"last_persist_error,omitempty"`
+	LastPersistAt    string `json:"last_persist_at,omitempty"`
 }
 
 // Queue is a durable batch job queue. All methods are safe for
@@ -214,8 +223,11 @@ type Queue struct {
 	run Runner
 	wg  sync.WaitGroup
 
-	evicted       uint64
-	persistErrors uint64
+	evicted        uint64
+	persistErrors  uint64
+	persistRetried uint64
+	lastPersistErr string
+	lastPersistAt  time.Time
 }
 
 // Open loads every durable record under o.Dir (creating the directory
@@ -401,7 +413,14 @@ func (q *Queue) Cancel(id string) (JobView, error) {
 func (q *Queue) Stats() Stats {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	st := Stats{Jobs: len(q.jobs), Evicted: q.evicted, PersistErrors: q.persistErrors}
+	st := Stats{
+		Jobs: len(q.jobs), Evicted: q.evicted,
+		PersistErrors: q.persistErrors, PersistRetried: q.persistRetried,
+		LastPersistError: q.lastPersistErr,
+	}
+	if !q.lastPersistAt.IsZero() {
+		st.LastPersistAt = q.lastPersistAt.UTC().Format(time.RFC3339Nano)
+	}
 	for _, j := range q.jobs {
 		switch j.state() {
 		case StatePending:

@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 )
 
 // The durable layer: one file per job, <dir>/<id>.json, written
@@ -28,10 +29,22 @@ type jobEnvelope struct {
 	Job    *job   `json:"job"`
 }
 
+// persistRetries and persistBackoff bound the checkpoint retry loop: a
+// transient write failure (ENOSPC burst, a slow filesystem hiccup) gets
+// a few quick re-attempts before the checkpoint is surrendered.
+const (
+	persistRetries = 2
+	persistBackoff = 5 * time.Millisecond
+)
+
 // persistLocked checkpoints one job; q.mu must be held. Running items
-// are recorded as pending — a checkpoint never claims unfinished work —
-// and write failures are counted, not returned: a queue that cannot
-// persist degrades to a memory-only queue, it does not stop serving.
+// are recorded as pending — a checkpoint never claims unfinished work.
+// Failed writes are retried with a short backoff (the lock is held, but
+// the slow path runs only when the disk is already failing); a
+// checkpoint that still cannot land is counted and recorded as the last
+// persist error (surfaced on /healthz), not returned: a queue that
+// cannot persist degrades to a memory-only queue, it does not stop
+// serving.
 func (q *Queue) persistLocked(j *job) {
 	if q.dir == "" {
 		return
@@ -46,12 +59,30 @@ func (q *Queue) persistLocked(j *job) {
 	}
 	data, err := json.Marshal(jobEnvelope{V: jobEnvelopeVersion, Schema: q.schema, ID: j.ID, Job: &disk})
 	if err != nil {
-		q.persistErrors++
+		q.recordPersistFailure(err)
 		return
 	}
-	if err := writeAtomic(filepath.Join(q.dir, j.ID+".json"), data); err != nil {
-		q.persistErrors++
+	path := filepath.Join(q.dir, j.ID+".json")
+	for attempt := 0; ; attempt++ {
+		err = writeAtomic(path, data)
+		if err == nil {
+			return
+		}
+		if attempt >= persistRetries {
+			break
+		}
+		q.persistRetried++
+		time.Sleep(persistBackoff << uint(attempt))
 	}
+	q.recordPersistFailure(err)
+}
+
+// recordPersistFailure counts one surrendered checkpoint and pins its
+// message and time for /healthz; q.mu must be held.
+func (q *Queue) recordPersistFailure(err error) {
+	q.persistErrors++
+	q.lastPersistErr = err.Error()
+	q.lastPersistAt = time.Now()
 }
 
 // load restores every record under q.dir, evicting damaged or stale
@@ -65,7 +96,17 @@ func (q *Queue) load() error {
 	var jobs []*job
 	for _, ent := range entries {
 		name := ent.Name()
-		if ent.IsDir() || !strings.HasSuffix(name, ".json") {
+		if ent.IsDir() {
+			continue
+		}
+		// A leftover temp file marks a write torn by a kill between
+		// CreateTemp and rename; the rename never happened, so the
+		// record it was replacing is intact. Remove the debris.
+		if strings.HasPrefix(name, ".tmp-") {
+			os.Remove(filepath.Join(q.dir, name))
+			continue
+		}
+		if !strings.HasSuffix(name, ".json") {
 			continue
 		}
 		path := filepath.Join(q.dir, name)

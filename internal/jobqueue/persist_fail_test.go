@@ -1,0 +1,161 @@
+package jobqueue
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestPersistFailureSurfacedAndRetried: a checkpoint that cannot land —
+// forced here by planting a directory where the record file must go, so
+// the atomic rename fails — is retried with backoff, then surrendered,
+// counted, and pinned (message + time) in Stats. The queue keeps
+// serving as a memory-only queue throughout.
+func TestPersistFailureSurfacedAndRetried(t *testing.T) {
+	dir := t.TempDir()
+	q, err := Open(Options{Dir: dir, Schema: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+
+	its := items(2)
+	// Occupy the record's path with a directory: CreateTemp succeeds,
+	// rename onto a directory cannot.
+	if err := os.Mkdir(filepath.Join(dir, IDFor(its)+".json"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	before := time.Now().Add(-time.Second)
+	v, created, err := q.Submit(its)
+	if err != nil || !created {
+		t.Fatalf("Submit = %+v, %v, %v", v, created, err)
+	}
+	st := q.Stats()
+	if st.PersistErrors != 1 {
+		t.Fatalf("PersistErrors = %d, want 1 (one surrendered checkpoint)", st.PersistErrors)
+	}
+	if st.PersistRetried != persistRetries {
+		t.Fatalf("PersistRetried = %d, want %d", st.PersistRetried, persistRetries)
+	}
+	if st.LastPersistError == "" {
+		t.Fatal("LastPersistError empty after a surrendered checkpoint")
+	}
+	at, err := time.Parse(time.RFC3339Nano, st.LastPersistAt)
+	if err != nil || at.Before(before) || at.After(time.Now().Add(time.Second)) {
+		t.Fatalf("LastPersistAt = %q (%v)", st.LastPersistAt, err)
+	}
+
+	// Degraded, not broken: the job still runs to completion in memory.
+	q.Start(1, echoRunner)
+	done := waitState(t, q, v.ID, StateCompleted)
+	if done.Completed != len(its) {
+		t.Fatalf("completed = %d of %d", done.Completed, len(its))
+	}
+	// No temp-file debris left behind by the failed renames.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".tmp-") {
+			t.Fatalf("failed checkpoint leaked temp file %s", e.Name())
+		}
+	}
+}
+
+// TestPersistRecoversAfterFailure: once the obstruction clears, the next
+// checkpoint lands; the last-error fields keep pointing at the historical
+// failure (they record the most recent surrender, not current health —
+// PersistErrors staying flat is the "healthy again" signal).
+func TestPersistRecoversAfterFailure(t *testing.T) {
+	dir := t.TempDir()
+	q, err := Open(Options{Dir: dir, Schema: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+
+	its := items(1)
+	blocked := filepath.Join(dir, IDFor(its)+".json")
+	if err := os.Mkdir(blocked, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := q.Submit(its); err != nil {
+		t.Fatal(err)
+	}
+	failures := q.Stats().PersistErrors
+	if failures == 0 {
+		t.Fatal("no persist failure recorded while blocked")
+	}
+
+	// Clear the obstruction; the next checkpoint (driven by running the
+	// job) writes the record.
+	if err := os.Remove(blocked); err != nil {
+		t.Fatal(err)
+	}
+	q.Start(1, echoRunner)
+	v := waitState(t, q, IDFor(its), StateCompleted)
+	if st := q.Stats(); st.PersistErrors != failures {
+		t.Fatalf("PersistErrors grew after recovery: %d → %d", failures, st.PersistErrors)
+	}
+	data, err := os.ReadFile(blocked)
+	if err != nil {
+		t.Fatalf("record not written after recovery: %v", err)
+	}
+	var e jobEnvelope
+	if err := json.Unmarshal(data, &e); err != nil || e.ID != v.ID {
+		t.Fatalf("recovered record damaged: %v (%s)", err, data)
+	}
+}
+
+// TestLoadCleansStaleTempFiles: temp files from a checkpoint torn by a
+// kill are removed on Open and never parsed as records.
+func TestLoadCleansStaleTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	q, err := Open(Options{Dir: dir, Schema: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	its := items(1)
+	if _, _, err := q.Submit(its); err != nil {
+		t.Fatal(err)
+	}
+	q.Close()
+
+	// Simulate a torn checkpoint: partial envelope bytes under a temp
+	// name, exactly what CreateTemp+kill leaves.
+	record, err := os.ReadFile(filepath.Join(dir, IDFor(its)+".json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{".tmp-1234", ".tmp-torn"} {
+		if err := os.WriteFile(filepath.Join(dir, name), record[:len(record)/2], 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	q2, err := Open(Options{Dir: dir, Schema: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q2.Close()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".tmp-") {
+			t.Fatalf("stale temp file %s survived Open", e.Name())
+		}
+	}
+	// The real record loaded; the debris was not counted as an eviction
+	// (it was never a record).
+	st := q2.Stats()
+	if st.Jobs != 1 || st.Evicted != 0 {
+		t.Fatalf("stats after cleanup = %+v; want the one real job, zero evictions", st)
+	}
+}

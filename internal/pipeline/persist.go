@@ -54,6 +54,17 @@ func AttachStore(dir string) (*store.Store, error) {
 // process-local only.
 func PersistentStore() *store.Store { return persistent }
 
+// SwapTiers replaces the memo cache and persistent store, returning the
+// previous pair so the caller can restore them. It exists for tests in
+// other packages (serve's peer-store suite) that need an isolated store
+// behind a live server; production code attaches once at startup and
+// never swaps.
+func SwapTiers(c *Cache, st *store.Store) (*Cache, *store.Store) {
+	oldC, oldSt := shared, persistent
+	shared, persistent = c, st
+	return oldC, oldSt
+}
+
 // doStored is Do with the persistent store layered underneath: on a memo
 // miss it tries the store before computing, and persists what it computes.
 // dec doubles as the store lookup's validator, so a stored payload that

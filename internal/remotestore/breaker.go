@@ -1,0 +1,101 @@
+package remotestore
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker's lifecycle. The breaker exists so
+// a dead or drowning peer costs one bounded burst of failures and then
+// nothing: while open, every remote lookup short-circuits to a local
+// miss without touching the network.
+type BreakerState string
+
+const (
+	// BreakerClosed: requests flow; consecutive failures are counted.
+	BreakerClosed BreakerState = "closed"
+	// BreakerOpen: requests short-circuit. After the cooldown the next
+	// request is admitted as a half-open probe.
+	BreakerOpen BreakerState = "open"
+	// BreakerHalfOpen: one probe is in flight; its outcome closes or
+	// re-opens the breaker. Other requests keep short-circuiting.
+	BreakerHalfOpen BreakerState = "half-open"
+)
+
+// breaker is a consecutive-failure circuit breaker with half-open
+// probing. Failures are counted per request (after retries), not per
+// attempt, so the trip threshold reads as "N remote operations in a row
+// gave the peer up for lost".
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int
+	openedAt time.Time
+	probing  bool
+	trips    uint64
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, state: BreakerClosed}
+}
+
+// allow reports whether a request may proceed; it must be paired with
+// exactly one record call when it returns true. In the open state it
+// transitions to half-open (admitting the caller as the probe) once the
+// cooldown has elapsed.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if time.Since(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// record reports one allowed request's outcome.
+func (b *breaker) record(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	if ok {
+		b.state = BreakerClosed
+		b.failures = 0
+		return
+	}
+	if b.state == BreakerHalfOpen {
+		// The probe failed: back to open, cooldown restarts.
+		b.state = BreakerOpen
+		b.openedAt = time.Now()
+		b.trips++
+		return
+	}
+	b.failures++
+	if b.state == BreakerClosed && b.failures >= b.threshold {
+		b.state = BreakerOpen
+		b.openedAt = time.Now()
+		b.trips++
+	}
+}
+
+// snapshot returns the current state and trip count.
+func (b *breaker) snapshot() (BreakerState, uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state, b.trips
+}

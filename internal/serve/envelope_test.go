@@ -68,6 +68,11 @@ func TestErrorEnvelopeTable(t *testing.T) {
 		{"model conflict", "POST", "/v1/models", string(machineJSON(t, conflict)), 409, CodeModelConflict},
 		{"unknown job", "GET", "/v1/jobs/feed", "", 404, CodeJobNotFound},
 		{"job cap", "POST", "/v1/jobs", `{"requests":[{"arch":"zen4","asm":"\taddq $2, %rax\n"}]}`, 507, CodeQueueFull},
+		{"bad store hash", "GET", "/v1/store/not-a-hash", "", 400, CodeInvalidRequest},
+		// This test server runs without a persistent store, so a
+		// well-formed peer fetch is answered 503 store_unavailable.
+		{"store unavailable", "GET", "/v1/store/" + strings.Repeat("a", 64), "", 503, CodeStoreUnavailable},
+		{"store unavailable put", "PUT", "/v1/store/" + strings.Repeat("a", 64), "{}", 503, CodeStoreUnavailable},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -92,8 +97,11 @@ func TestErrorEnvelopeTable(t *testing.T) {
 		})
 	}
 
-	// The two codes no cheap live request can produce keep their pinned
-	// statuses via classify — the same mapping writeError uses.
+	// Codes no cheap live request against this server can produce keep
+	// their pinned statuses via classify — the same mapping writeError
+	// uses. (store_entry_not_found is exercised live with an attached
+	// store by TestPeerStoreGetEnvelope, internal by
+	// TestRecoverMiddleware.)
 	for _, tc := range []struct {
 		err    error
 		status int
@@ -101,6 +109,8 @@ func TestErrorEnvelopeTable(t *testing.T) {
 	}{
 		{apiErrorf(CodeAnalysisTimeout, http.StatusServiceUnavailable, "x"), 503, CodeAnalysisTimeout},
 		{apiErrorf(CodeRegistryFull, http.StatusInsufficientStorage, "x"), 507, CodeRegistryFull},
+		{apiErrorf(CodeStoreEntryNotFound, http.StatusNotFound, "x"), 404, CodeStoreEntryNotFound},
+		{apiErrorf(CodeInternal, http.StatusInternalServerError, "x"), 500, CodeInternal},
 	} {
 		if status, code := classify(tc.err); status != tc.status || code != tc.code {
 			t.Errorf("classify(%s) = %d/%s, want %d/%s", tc.code, status, code, tc.status, tc.code)

@@ -50,6 +50,17 @@ const (
 	// CodeQueueFull marks a refused job submission beyond the retained
 	// job cap. Status 507.
 	CodeQueueFull ErrorCode = "queue_full"
+	// CodeStoreUnavailable marks a peer-store request against a server
+	// running without a persistent store. Status 503.
+	CodeStoreUnavailable ErrorCode = "store_unavailable"
+	// CodeStoreEntryNotFound marks a peer-store GET whose hash names no
+	// entry — the authoritative healthy miss peers rely on to stay off
+	// the retry path. Status 404.
+	CodeStoreEntryNotFound ErrorCode = "store_entry_not_found"
+	// CodeInternal marks a handler panic caught by the recover
+	// middleware; the stack goes to the log, the client gets the
+	// envelope. Status 500.
+	CodeInternal ErrorCode = "internal"
 )
 
 // apiError pins a machine code and HTTP status to an error. It is the

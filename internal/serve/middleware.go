@@ -4,7 +4,9 @@ import (
 	"context"
 	"crypto/rand"
 	"encoding/hex"
+	"log"
 	"net/http"
+	"runtime/debug"
 	"time"
 
 	"incore/internal/pipeline"
@@ -59,15 +61,55 @@ func newRequestID() string {
 	return hex.EncodeToString(b[:])
 }
 
-// statusWriter captures the response status for the access log.
+// statusWriter captures the response status for the access log and
+// whether anything was written yet (the recover middleware may only
+// send its envelope on a still-pristine response).
 type statusWriter struct {
 	http.ResponseWriter
 	status int
+	wrote  bool
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
+	w.wrote = true
 	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(p)
+}
+
+// withRecover converts a handler panic into a 500 internal envelope
+// with the stack in the log, so one poisoned request cannot take the
+// connection (or, under some panics, the process's goroutine budget)
+// down with it. http.ErrAbortHandler keeps its net/http meaning.
+// Runs inside withRequestID, so the envelope carries the request ID.
+func (s *Server) withRecover(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		defer func() {
+			p := recover()
+			if p == nil {
+				return
+			}
+			if p == http.ErrAbortHandler {
+				panic(p)
+			}
+			logger := s.accessLog
+			if logger == nil {
+				logger = log.Default()
+			}
+			logger.Printf("panic serving %s %s rid=%s: %v\n%s",
+				r.Method, r.URL.Path, requestIDFrom(r.Context()), p, debug.Stack())
+			if !sw.wrote {
+				writeError(sw, r, apiErrorf(CodeInternal, http.StatusInternalServerError,
+					"internal server error"))
+			}
+		}()
+		next.ServeHTTP(sw, r)
+	})
 }
 
 // withRequestID wraps the route table with ID assignment and, when an
@@ -95,12 +137,12 @@ func (s *Server) withRequestID(next http.Handler) http.Handler {
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
 		next.ServeHTTP(sw, r.WithContext(ctx))
-		var warm, cold uint64
+		var warm, cold, remote uint64
 		if st != nil {
 			d := st.Stats().Sub(before)
-			warm, cold = d.Warm(), d.Misses
+			warm, cold, remote = d.Warm(), d.Misses, d.RemoteHits
 		}
-		s.accessLog.Printf("%s %s status=%d dur=%s rid=%s warm=%d cold=%d",
-			r.Method, r.URL.Path, sw.status, time.Since(start).Round(time.Microsecond), id, warm, cold)
+		s.accessLog.Printf("%s %s status=%d dur=%s rid=%s warm=%d cold=%d remote=%d",
+			r.Method, r.URL.Path, sw.status, time.Since(start).Round(time.Microsecond), id, warm, cold, remote)
 	})
 }

@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+
+	"incore/internal/pipeline"
+	"incore/internal/remotestore"
+	"incore/internal/store"
+)
+
+// Peer store endpoints: the server side of the remote cache tier.
+//
+//	GET /v1/store/{hash}  fetch one entry        → wire envelope (200)
+//	PUT /v1/store/{hash}  write-behind one entry → 204
+//
+// {hash} is the lowercase hex SHA-256 of the store key (the content
+// address remotestore.Client computes). Entries travel as the
+// self-verifying wire envelope (remotestore.EncodeEntry): version,
+// schema stamp, the full key, and the payload next to its own SHA-256.
+// Both directions verify before trusting — the GET side lets the client
+// discard damage, and the PUT handler re-derives the address and the
+// payload hash from the body so a corrupt or mis-addressed upload can
+// never land in the local store.
+//
+// A miss is 404 store_entry_not_found: an authoritative, healthy
+// answer, not a failure (peers must not retry it or count it against
+// the circuit breaker). A server running without -cache-dir answers
+// 503 store_unavailable.
+
+// handlePeerGet serves one store entry by content address from the
+// pipeline's store; servePeerGet carries the logic so tests can back
+// the endpoint with an arbitrary store.
+func (s *Server) handlePeerGet(w http.ResponseWriter, r *http.Request) {
+	servePeerGet(pipeline.PersistentStore(), w, r)
+}
+
+func servePeerGet(st *store.Store, w http.ResponseWriter, r *http.Request) {
+	hash := r.PathValue("hash")
+	if !remotestore.ValidHash(hash) {
+		writeError(w, r, apiErrorf(CodeInvalidRequest, http.StatusBadRequest,
+			"invalid store hash %q: want 64 lowercase hex chars", hash))
+		return
+	}
+	if st == nil {
+		writeError(w, r, apiErrorf(CodeStoreUnavailable, http.StatusServiceUnavailable,
+			"this server runs without a persistent store"))
+		return
+	}
+	key, payload, ok := st.GetByHash(hash)
+	if !ok {
+		writeError(w, r, apiErrorf(CodeStoreEntryNotFound, http.StatusNotFound,
+			"no store entry for %s", hash))
+		return
+	}
+	body, err := remotestore.EncodeEntry(pipeline.StoreSchema(), key, payload)
+	if err != nil {
+		writeError(w, r, wrapAPIError(CodeInternal, http.StatusInternalServerError, err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+}
+
+// handlePeerPut accepts one write-behind entry. The body must be a wire
+// envelope whose derived address matches {hash} and whose payload
+// matches its embedded hash — anything else is a 400, never a write.
+// Accepted entries land in the local tiers only (PutLocal): forwarding
+// them back out the remote tier would ping-pong entries between peers.
+func (s *Server) handlePeerPut(w http.ResponseWriter, r *http.Request) {
+	servePeerPut(pipeline.PersistentStore(), s.opt.MaxBodyBytes, w, r)
+}
+
+func servePeerPut(st *store.Store, maxBody int64, w http.ResponseWriter, r *http.Request) {
+	hash := r.PathValue("hash")
+	if !remotestore.ValidHash(hash) {
+		writeError(w, r, apiErrorf(CodeInvalidRequest, http.StatusBadRequest,
+			"invalid store hash %q: want 64 lowercase hex chars", hash))
+		return
+	}
+	if st == nil {
+		writeError(w, r, apiErrorf(CodeStoreUnavailable, http.StatusServiceUnavailable,
+			"this server runs without a persistent store"))
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
+	if err != nil {
+		writeError(w, r, err)
+		return
+	}
+	key, payload, err := remotestore.DecodeVerify(body, hash, pipeline.StoreSchema())
+	if err != nil {
+		writeError(w, r, wrapAPIError(CodeInvalidRequest, http.StatusBadRequest, err))
+		return
+	}
+	st.PutLocal(key, payload)
+	w.WriteHeader(http.StatusNoContent)
+}

@@ -17,6 +17,8 @@
 //	GET    /v1/models        models (?limit/offset/arch)→ ModelList
 //	POST   /v1/models        register a machine file    → ModelRegistered
 //	GET    /v1/models/{key}  export one machine file    → machine-file JSON
+//	GET    /v1/store/{hash}  peer-store fetch           → wire envelope
+//	PUT    /v1/store/{hash}  peer-store write-behind    → 204
 //	GET    /healthz          liveness + accounting      → HealthResponse
 //
 // Every response echoes an X-Request-Id (client-supplied or generated),
@@ -47,6 +49,7 @@ import (
 	"incore/internal/isa"
 	"incore/internal/jobqueue"
 	"incore/internal/pipeline"
+	"incore/internal/remotestore"
 	"incore/internal/store"
 	"incore/internal/uarch"
 )
@@ -194,6 +197,11 @@ type HealthResponse struct {
 	Models int            `json:"models"`
 	Cache  pipeline.Stats `json:"cache"`
 	Store  *store.Stats   `json:"store,omitempty"`
+	// Remote reports the peer-store tier when one is attached: hit,
+	// miss, and error counts plus the circuit-breaker state — the
+	// observable for the degradation contract (a dead peer shows up
+	// here as breaker "open", not as failing requests).
+	Remote *remotestore.Stats `json:"remote,omitempty"`
 	// Jobs reports the job queue: backlog depth and per-state job
 	// counts next to the store accounting.
 	Jobs jobqueue.Stats `json:"jobs"`
@@ -331,8 +339,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/models", s.handleModels)
 	mux.HandleFunc("POST /v1/models", s.handleRegisterModel)
 	mux.HandleFunc("GET /v1/models/{key}", s.handleExportModel)
+	mux.HandleFunc("GET /v1/store/{hash}", s.handlePeerGet)
+	mux.HandleFunc("PUT /v1/store/{hash}", s.handlePeerPut)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	return s.withRequestID(mux)
+	return s.withRequestID(s.withRecover(mux))
 }
 
 // inlineModel parses (or recalls) an inline machine file. Models land in
@@ -636,6 +646,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if st := pipeline.PersistentStore(); st != nil {
 		stats := st.Stats()
 		resp.Store = &stats
+		if rc, ok := st.Remote().(*remotestore.Client); ok {
+			rs := rc.Stats()
+			resp.Remote = &rs
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -1,12 +1,18 @@
 // Package store is the persistent, content-addressed result store that
 // lets analyzer, simulator, and write-allocate-curve results survive
-// across processes. It composes two tiers:
+// across processes. It composes up to three tiers:
 //
 //   - a sharded in-memory LRU (lru.go) absorbing repeated reads within a
-//     process without touching the filesystem, and
+//     process without touching the filesystem,
 //   - an on-disk layer, one file per entry, addressed by the SHA-256 of
 //     the entry's content key and sharded into 256 prefix directories so
-//     no single directory grows unboundedly.
+//     no single directory grows unboundedly, and
+//   - optionally a remote peer tier (the Remote interface, implemented
+//     by internal/remotestore): a replica's store reached over HTTP,
+//     consulted after a disk miss and populated by async write-behind,
+//     so a fleet of replicas is cache-coherent for free — entries are
+//     immutable values under content keys. The remote tier is strictly
+//     best-effort: any failure is a local miss, never an error.
 //
 // Keys are the same content keys the pipeline memo cache uses
 // (core.Analyzer.Fingerprint plus model key plus block text, and
@@ -27,6 +33,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync/atomic"
 )
 
@@ -63,7 +70,15 @@ type Stats struct {
 	MemHits uint64 `json:"mem_hits"`
 	// DiskHits were read, verified, and promoted from the disk tier.
 	DiskHits uint64 `json:"disk_hits"`
-	// Misses found no usable entry in either tier (cold lookups).
+	// RemoteHits were fetched from the remote peer tier, verified, and
+	// promoted into both local tiers.
+	RemoteHits uint64 `json:"remote_hits"`
+	// RemoteRejects counts remote payloads the caller's validator
+	// refused after the transport-level verification passed (payload
+	// drift without a schema bump); rejected payloads are treated as
+	// misses and never populate the local tiers.
+	RemoteRejects uint64 `json:"remote_rejects"`
+	// Misses found no usable entry in any tier (cold lookups).
 	Misses uint64 `json:"misses"`
 	// Evictions counts disk entries deleted on read because they were
 	// stale (schema mismatch) or damaged (truncated, corrupted,
@@ -77,7 +92,7 @@ type Stats struct {
 }
 
 // Warm returns the lookups served without recomputation.
-func (s Stats) Warm() uint64 { return s.MemHits + s.DiskHits }
+func (s Stats) Warm() uint64 { return s.MemHits + s.DiskHits + s.RemoteHits }
 
 // Sub returns the accounting accumulated since prev was snapshotted:
 // every counter as a delta, MemEntries as the current population. The
@@ -87,27 +102,45 @@ func (s Stats) Warm() uint64 { return s.MemHits + s.DiskHits }
 // serialized CI resume gate).
 func (s Stats) Sub(prev Stats) Stats {
 	return Stats{
-		MemHits:    s.MemHits - prev.MemHits,
-		DiskHits:   s.DiskHits - prev.DiskHits,
-		Misses:     s.Misses - prev.Misses,
-		Evictions:  s.Evictions - prev.Evictions,
-		PutErrors:  s.PutErrors - prev.PutErrors,
-		MemEntries: s.MemEntries,
+		MemHits:       s.MemHits - prev.MemHits,
+		DiskHits:      s.DiskHits - prev.DiskHits,
+		RemoteHits:    s.RemoteHits - prev.RemoteHits,
+		RemoteRejects: s.RemoteRejects - prev.RemoteRejects,
+		Misses:        s.Misses - prev.Misses,
+		Evictions:     s.Evictions - prev.Evictions,
+		PutErrors:     s.PutErrors - prev.PutErrors,
+		MemEntries:    s.MemEntries,
 	}
 }
 
-// Store is a two-tier persistent result store. It is safe for concurrent
-// use; payloads returned by Get are shared and must not be mutated.
+// Remote is an optional third tier under the disk tier: a peer replica's
+// store reached over the network (internal/remotestore). The contract is
+// strictly best-effort — Get must degrade to a miss on any failure and
+// must verify fetched content before surfacing it, Put must never block
+// the caller (write-behind) — so the store's correctness and latency
+// never depend on the network.
+type Remote interface {
+	Get(key string) ([]byte, bool)
+	Put(key string, payload []byte)
+}
+
+// Store is a persistent result store of up to three tiers: in-memory
+// LRU over on-disk entries, optionally backed by a remote peer. It is
+// safe for concurrent use; payloads returned by Get are shared and must
+// not be mutated.
 type Store struct {
 	dir    string
 	schema int
 	mem    *lru
+	remote Remote
 
-	memHits   atomic.Uint64
-	diskHits  atomic.Uint64
-	misses    atomic.Uint64
-	evictions atomic.Uint64
-	putErrors atomic.Uint64
+	memHits       atomic.Uint64
+	diskHits      atomic.Uint64
+	remoteHits    atomic.Uint64
+	remoteRejects atomic.Uint64
+	misses        atomic.Uint64
+	evictions     atomic.Uint64
+	putErrors     atomic.Uint64
 }
 
 // Open prepares dir (creating it if needed) and returns a store stamping
@@ -127,11 +160,47 @@ func Open(dir string, o Options) (*Store, error) {
 	if shards <= 0 {
 		shards = 16
 	}
+	removeStaleTemps(dir)
 	return &Store{dir: dir, schema: o.Schema, mem: newLRU(capacity, shards)}, nil
+}
+
+// removeStaleTemps deletes leftover write-temp files from a process
+// killed mid-write. Atomic writes go through same-directory ".tmp-*"
+// files; one that still exists at open was never renamed into place and
+// can only be a torn write — loading it is impossible (entries are only
+// ever read via their final names), but cleaning it keeps a crash loop
+// from accreting garbage.
+func removeStaleTemps(dir string) {
+	shards, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, sh := range shards {
+		if !sh.IsDir() {
+			continue
+		}
+		sub := filepath.Join(dir, sh.Name())
+		files, err := os.ReadDir(sub)
+		if err != nil {
+			continue
+		}
+		for _, f := range files {
+			if strings.HasPrefix(f.Name(), ".tmp-") {
+				os.Remove(filepath.Join(sub, f.Name()))
+			}
+		}
+	}
 }
 
 // Dir returns the store's on-disk root.
 func (s *Store) Dir() string { return s.dir }
+
+// SetRemote attaches (or detaches, with nil) the remote peer tier. Call
+// it at startup, before the store serves traffic.
+func (s *Store) SetRemote(r Remote) { s.remote = r }
+
+// Remote returns the attached remote tier, or nil.
+func (s *Store) Remote() Remote { return s.remote }
 
 // path maps a content key to its entry file: dir/<hh>/<sha256 hex>.json.
 func (s *Store) path(key string) (string, string) {
@@ -166,40 +235,105 @@ func (s *Store) GetValidated(key string, validate func([]byte) error) ([]byte, b
 		s.memHits.Add(1)
 		return payload, true
 	}
-	data, err := os.ReadFile(p)
-	if err != nil {
-		s.misses.Add(1)
-		return nil, false
+	if data, err := os.ReadFile(p); err == nil {
+		var e envelope
+		if err := json.Unmarshal(data, &e); err != nil ||
+			e.V != envelopeVersion || e.Schema != s.schema || e.Key != key ||
+			(validate != nil && validate(e.Payload) != nil) {
+			os.Remove(p)
+			s.evictions.Add(1)
+			// A damaged disk entry falls through to the remote tier: the
+			// peer may hold an intact copy of exactly this entry.
+		} else {
+			s.mem.put(h, e.Payload)
+			s.diskHits.Add(1)
+			return e.Payload, true
+		}
 	}
-	var e envelope
-	if err := json.Unmarshal(data, &e); err != nil ||
-		e.V != envelopeVersion || e.Schema != s.schema || e.Key != key ||
-		(validate != nil && validate(e.Payload) != nil) {
-		os.Remove(p)
-		s.evictions.Add(1)
-		s.misses.Add(1)
-		return nil, false
+	// Remote peer tier. The remote client verifies transport integrity
+	// (schema stamp, key address, payload hash) before returning; the
+	// caller's validator then applies the same payload-level check disk
+	// entries get, so a peer can never make Warm() claim a lookup that
+	// would in fact recompute.
+	if r := s.remote; r != nil {
+		if payload, ok := r.Get(key); ok {
+			if validate != nil && validate(payload) != nil {
+				s.remoteRejects.Add(1)
+			} else {
+				// Promote into both local tiers so the next lookup never
+				// leaves the process. The disk write is local-only: the
+				// peer already holds this entry.
+				s.mem.put(h, payload)
+				s.writeDisk(key, p, payload)
+				s.remoteHits.Add(1)
+				return payload, true
+			}
+		}
 	}
-	s.mem.put(h, e.Payload)
-	s.diskHits.Add(1)
-	return e.Payload, true
+	s.misses.Add(1)
+	return nil, false
 }
 
-// Put stores payload under key in both tiers. Disk writes are atomic
-// (temp file + rename), so concurrent writers and readers of one entry
-// never observe a partial file; write failures are counted, not returned —
-// a store that cannot persist degrades to a per-process cache.
+// Put stores payload under key in the local tiers and, when a remote
+// peer is attached, hands it to the peer's write-behind queue (async
+// best-effort: remote latency or death never reaches this caller). Disk
+// writes are atomic (temp file + rename), so concurrent writers and
+// readers of one entry never observe a partial file; write failures are
+// counted, not returned — a store that cannot persist degrades to a
+// per-process cache.
 func (s *Store) Put(key string, payload []byte) {
+	s.PutLocal(key, payload)
+	if r := s.remote; r != nil {
+		r.Put(key, payload)
+	}
+}
+
+// PutLocal is Put without remote propagation. The peer PUT handler uses
+// it so replicated entries cannot ping-pong between peers.
+func (s *Store) PutLocal(key string, payload []byte) {
 	h, p := s.path(key)
 	s.mem.put(h, payload)
+	s.writeDisk(key, p, payload)
+}
+
+// writeDisk persists one entry at its final path, counting failures.
+func (s *Store) writeDisk(key, path string, payload []byte) {
 	data, err := json.Marshal(envelope{V: envelopeVersion, Schema: s.schema, Key: key, Payload: payload})
 	if err != nil {
 		s.putErrors.Add(1)
 		return
 	}
-	if err := writeAtomic(p, data); err != nil {
+	if err := writeAtomic(path, data); err != nil {
 		s.putErrors.Add(1)
 	}
+}
+
+// GetByHash reads one disk entry by its address (the hex SHA-256 of its
+// content key) and returns the verbatim key alongside the payload. It is
+// the peer-protocol read path — a peer asks for an address, not a key —
+// and deliberately skips the memory and remote tiers and the hit/miss
+// accounting: peer replication must not inflate this replica's warm
+// counts or recurse into its own peer. Damaged entries self-evict
+// exactly as in GetValidated.
+func (s *Store) GetByHash(hash string) (key string, payload []byte, ok bool) {
+	p := filepath.Join(s.dir, hash[:2], hash+".json")
+	data, err := os.ReadFile(p)
+	if err != nil {
+		return "", nil, false
+	}
+	var e envelope
+	if err := json.Unmarshal(data, &e); err != nil ||
+		e.V != envelopeVersion || e.Schema != s.schema || hashOf(e.Key) != hash {
+		os.Remove(p)
+		s.evictions.Add(1)
+		return "", nil, false
+	}
+	return e.Key, e.Payload, true
+}
+
+func hashOf(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:])
 }
 
 // writeAtomic writes data to path via a same-directory temp file and
@@ -233,11 +367,13 @@ func writeAtomic(path string, data []byte) error {
 // Stats returns the current accounting.
 func (s *Store) Stats() Stats {
 	return Stats{
-		MemHits:    s.memHits.Load(),
-		DiskHits:   s.diskHits.Load(),
-		Misses:     s.misses.Load(),
-		Evictions:  s.evictions.Load(),
-		PutErrors:  s.putErrors.Load(),
-		MemEntries: s.mem.len(),
+		MemHits:       s.memHits.Load(),
+		DiskHits:      s.diskHits.Load(),
+		RemoteHits:    s.remoteHits.Load(),
+		RemoteRejects: s.remoteRejects.Load(),
+		Misses:        s.misses.Load(),
+		Evictions:     s.evictions.Load(),
+		PutErrors:     s.putErrors.Load(),
+		MemEntries:    s.mem.len(),
 	}
 }
