@@ -18,13 +18,18 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"sort"
+	"strings"
 	"testing"
 
 	"incore/internal/core"
 	"incore/internal/isa"
 	"incore/internal/kernels"
+	"incore/internal/pipeline"
+	"incore/internal/serve"
 	"incore/internal/sim"
 	"incore/internal/uarch"
 )
@@ -99,13 +104,113 @@ func suite() map[string]func(b *testing.B) {
 			}
 		}
 	}
+	// SimCompile isolates the front half sim.Run used to repeat on every
+	// call and the artifact cache now runs once per (block, model); its
+	// cost is what the warm path saves.
+	compileBench := func(blk *isa.Block, arch string) func(b *testing.B) {
+		m := uarch.MustGet(arch)
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Compile(blk, m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	// SimRunWarm is the compile-once execution path: one Program, many
+	// runs — what a model sweep or a warm server actually executes.
+	warmRunBench := func(blk *isa.Block, arch string) func(b *testing.B) {
+		m := uarch.MustGet(arch)
+		cfg := sim.DefaultConfig(m)
+		p, err := sim.Compile(blk, m)
+		if err != nil {
+			panic(err)
+		}
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	// AnalyzeInternal is the arena-returned zero-allocation analysis path
+	// (skeleton + descriptors from the artifact cache, Result from the
+	// caller's arena). One warmup call binds the artifacts and sizes the
+	// arena before the measured loop.
+	internalBench := func(blk *isa.Block, arch string) func(b *testing.B) {
+		m := uarch.MustGet(arch)
+		ar := &pipeline.InternalArena{}
+		if _, err := pipeline.AnalyzeInternal(an, blk, m, ar); err != nil {
+			panic(err)
+		}
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := pipeline.AnalyzeInternal(an, blk, m, ar); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
 	return map[string]func(b *testing.B){
-		"SimRun/goldencove/striad":  simBench(striadGLC, "goldencove"),
-		"SimRun/neoversev2/j3d27":   simBench(j3d27V2, "neoversev2"),
-		"SimRun/zen4/pi":            simBench(piZen4, "zen4"),
-		"Analyze/goldencove/striad": analyzeBench(striadGLC, "goldencove"),
-		"Analyze/neoversev2/j3d27":  analyzeBench(j3d27V2, "neoversev2"),
-		"Analyze/zen4/pi":           analyzeBench(piZen4, "zen4"),
+		"SimRun/goldencove/striad":           simBench(striadGLC, "goldencove"),
+		"SimRun/neoversev2/j3d27":            simBench(j3d27V2, "neoversev2"),
+		"SimRun/zen4/pi":                     simBench(piZen4, "zen4"),
+		"SimCompile/goldencove/striad":       compileBench(striadGLC, "goldencove"),
+		"SimCompile/neoversev2/j3d27":        compileBench(j3d27V2, "neoversev2"),
+		"SimCompile/zen4/pi":                 compileBench(piZen4, "zen4"),
+		"SimRunWarm/goldencove/striad":       warmRunBench(striadGLC, "goldencove"),
+		"SimRunWarm/neoversev2/j3d27":        warmRunBench(j3d27V2, "neoversev2"),
+		"SimRunWarm/zen4/pi":                 warmRunBench(piZen4, "zen4"),
+		"Analyze/goldencove/striad":          analyzeBench(striadGLC, "goldencove"),
+		"Analyze/neoversev2/j3d27":           analyzeBench(j3d27V2, "neoversev2"),
+		"Analyze/zen4/pi":                    analyzeBench(piZen4, "zen4"),
+		"AnalyzeInternal/goldencove/striad":  internalBench(striadGLC, "goldencove"),
+		"AnalyzeInternal/neoversev2/j3d27":   internalBench(j3d27V2, "neoversev2"),
+		"AnalyzeInternal/zen4/pi":            internalBench(piZen4, "zen4"),
+		"ServeAnalyzeWarm/goldencove/striad": serveWarmBench(striadGLC, "goldencove"),
+	}
+}
+
+// serveWarmBench measures one warm end-to-end /v1/analyze round trip:
+// request decode, parse cache, memo hit, response encode — the steady
+// state of a server replaying a hot block. The handler is exercised
+// directly (no network) so the measurement is the server's work, not
+// loopback TCP.
+func serveWarmBench(blk *isa.Block, arch string) func(b *testing.B) {
+	api, err := serve.NewWithOptions(serve.Options{JobWorkers: -1})
+	if err != nil {
+		panic(err)
+	}
+	h := api.Handler()
+	body, err := json.Marshal(map[string]string{
+		"arch": arch,
+		"name": blk.Name,
+		"asm":  blk.Text(),
+	})
+	if err != nil {
+		panic(err)
+	}
+	do := func() int {
+		req := httptest.NewRequest(http.MethodPost, "/v1/analyze", strings.NewReader(string(body)))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		return rec.Code
+	}
+	if code := do(); code != http.StatusOK {
+		panic(fmt.Sprintf("serve warmup: status %d", code))
+	}
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if code := do(); code != http.StatusOK {
+				b.Fatalf("status %d", code)
+			}
+		}
 	}
 }
 

@@ -10,7 +10,7 @@
 //	      [-peer-store URL] [-peer-timeout D] [-peer-fault-rate F] [-peer-fault-seed N]
 //	      [-machine FILE ...] [-machine-dir DIR]
 //	      [-max-body BYTES] [-max-instrs N] [-analysis-timeout D]
-//	      [-cpuprofile FILE] [-memprofile FILE]
+//	      [-cpuprofile FILE] [-memprofile FILE] [-pprof ADDR]
 //
 // -machine (repeatable) and -machine-dir register JSON machine files at
 // startup, so their keys serve alongside the built-ins; clients can also
@@ -36,7 +36,9 @@
 // at any rate.
 //
 // With -cpuprofile/-memprofile, runtime/pprof profiles cover the serving
-// window and are written on graceful shutdown.
+// window and are written on graceful shutdown. -pprof additionally mounts
+// the interactive net/http/pprof endpoints on a separate listener (keep it
+// loopback: profiles expose heap contents), away from the public API mux.
 //
 // Endpoints (see API.md for the full contract):
 //
@@ -64,7 +66,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -100,6 +104,7 @@ func main() {
 	analysisTimeout := flag.Duration("analysis-timeout", serve.DefaultAnalysisTimeout, "per-block analysis deadline (503 beyond; negative disables)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the serving window to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on shutdown")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this loopback address (e.g. 127.0.0.1:6060; empty = off)")
 	flag.Parse()
 
 	if *machineDir != "" {
@@ -183,6 +188,30 @@ func main() {
 	}
 	if *jobsDir != "" {
 		log.Printf("serve: durable job queue at %s", *jobsDir)
+	}
+
+	if *pprofAddr != "" {
+		// The profiler gets its own mux on its own (loopback) listener:
+		// pprof endpoints leak heap contents and must never ride the
+		// public API handler or inherit its middleware.
+		ln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			stopProfiles()
+			fmt.Fprintf(os.Stderr, "serve: -pprof: %v\n", err)
+			os.Exit(1)
+		}
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			if err := http.Serve(ln, pmux); err != nil {
+				log.Printf("serve: pprof listener: %v", err)
+			}
+		}()
+		log.Printf("serve: pprof on http://%s/debug/pprof/", ln.Addr())
 	}
 
 	srv := &http.Server{

@@ -84,6 +84,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wabench: store %d warm / %d cold (mem %d, disk %d, evictions %d)\n",
 			s.Warm(), s.Misses, s.MemHits, s.DiskHits, s.Evictions)
 	}
+	cs := pipeline.CompiledArtifacts().Stats()
+	fmt.Fprintf(os.Stderr, "wabench: compiled %d programs / %d skeletons / %d mca, %d hits + %d attaches / %d compiles (~%d KiB)\n",
+		cs.Programs, cs.Skeletons, cs.MCA, cs.Hits, cs.Attaches, cs.Compiles, cs.BytesEstimated/1024)
 }
 
 // sweepThreshold shows how the SpecI2M utilization threshold shapes the

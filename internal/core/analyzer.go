@@ -132,21 +132,43 @@ func (a *Analyzer) AnalyzeScratch(b *isa.Block, m *uarch.Model, s *Scratch) (*Re
 	if err != nil {
 		return nil, err
 	}
+	return finishResult(b, m, g, s, nil)
+}
 
-	res := &Result{Block: b, Model: m}
+// finishResult builds the Result from an instantiated dependency graph —
+// the back half of every analysis entry point. With ar == nil the Result
+// and everything it references are freshly allocated (safe to memoize and
+// persist); with an arena the Result reuses ar's backing arrays and is
+// only valid until ar's next use.
+func finishResult(b *isa.Block, m *uarch.Model, g *depgraph.Graph, s *Scratch, ar *ResultArena) (*Result, error) {
+	var res *Result
+	if ar != nil {
+		res = &ar.res
+		*res = Result{Block: b, Model: m}
+	} else {
+		res = &Result{Block: b, Model: m}
+	}
 	nPorts := len(m.Ports)
 	s.jobs = s.jobs[:0]
 	s.jobSpan = append(s.jobSpan[:0], 0)
-	res.Instrs = make([]InstrReport, 0, len(b.Instrs))
+	if ar != nil {
+		res.Instrs = ar.instrs[:0]
+	} else {
+		res.Instrs = make([]InstrReport, 0, len(b.Instrs))
+	}
 	for i := range b.Instrs {
 		d := g.Nodes[i].Desc
 		ir := InstrReport{
 			Index:      i,
-			Text:       b.Instrs[i].String(),
 			Uops:       d.UopCount(),
 			Lat:        d.Lat,
 			TotalLat:   d.TotalLat,
 			Throughput: d.ThroughputCycles(),
+		}
+		if ar != nil {
+			ir.Text = ar.text(b, i)
+		} else {
+			ir.Text = b.Instrs[i].String()
 		}
 		if d.Match != uarch.MatchExact {
 			ir.Match = d.Match.String()
@@ -159,19 +181,48 @@ func (a *Analyzer) AnalyzeScratch(b *isa.Block, m *uarch.Model, s *Scratch) (*Re
 		res.TotalUops += d.UopCount()
 		res.Instrs = append(res.Instrs, ir)
 	}
+	if ar != nil {
+		ar.instrs = res.Instrs
+	}
 	// Per-instruction pressure over the instruction's span of the shared
-	// job array; only the Result's own copy is freshly allocated.
+	// job array; only the Result's own copy is freshly allocated (from
+	// the arena's flat backing when one is supplied).
+	if ar != nil {
+		need := len(res.Instrs) * nPorts
+		ar.portLoads = grow(ar.portLoads, need)
+	}
 	for i := range res.Instrs {
 		loads := s.heuristicInto(s.jobs[s.jobSpan[i]:s.jobSpan[i+1]], nPorts)
-		res.Instrs[i].PortLoads = append([]float64(nil), loads...)
+		if ar != nil {
+			dst := ar.portLoads[i*nPorts : (i+1)*nPorts : (i+1)*nPorts]
+			copy(dst, loads)
+			res.Instrs[i].PortLoads = dst
+		} else {
+			res.Instrs[i].PortLoads = append([]float64(nil), loads...)
+		}
 	}
 
-	res.PortPressure = append([]float64(nil), s.heuristicInto(s.jobs, nPorts)...)
+	if ar != nil {
+		ar.portPressure = grow(ar.portPressure, nPorts)
+		copy(ar.portPressure, s.heuristicInto(s.jobs, nPorts))
+		res.PortPressure = ar.portPressure[:nPorts]
+	} else {
+		res.PortPressure = append([]float64(nil), s.heuristicInto(s.jobs, nPorts)...)
+	}
 	res.TPBound = s.optimalBound(s.jobs, nPorts)
 	res.GreedyTPBound = s.greedyBound(s.jobs, nPorts)
 	res.IssueBound = float64(res.TotalUops) / float64(m.IssueWidth)
-	res.CriticalPath, res.CPPath = g.CriticalPathDetail()
-	res.LCD = g.LoopCarried(-1)
+	if ar != nil {
+		res.CriticalPath, res.CPPath = g.CriticalPathDetailAppend(ar.cpPath)
+		ar.cpPath = res.CPPath
+		res.LCD = g.LoopCarriedAppend(-1, ar.lcdPath)
+		if res.LCD.Path != nil {
+			ar.lcdPath = res.LCD.Path
+		}
+	} else {
+		res.CriticalPath, res.CPPath = g.CriticalPathDetail()
+		res.LCD = g.LoopCarried(-1)
+	}
 
 	res.Prediction = math.Max(res.TPBound, res.IssueBound)
 	res.Bound = "port"

@@ -113,6 +113,18 @@ type edgeIdent struct {
 	reg      isa.RegKey
 }
 
+// skelEdge is the model-independent structural form of an Edge: everything
+// except the latency, which is a pure function of the edge kind and the
+// endpoint descriptors and is filled in per model (fillEdges). Keeping the
+// structure separate is what makes it cacheable across models (Skeleton).
+type skelEdge struct {
+	from, to int32
+	kind     EdgeKind
+	carried  bool
+	viaAcc   bool
+	reg      isa.RegKey
+}
+
 // Scratch holds every reusable arena graph construction and path
 // extraction need, so a steady stream of graphs does O(1) heap work
 // after warmup. The zero value is ready. A Scratch serves one
@@ -126,6 +138,7 @@ type Scratch struct {
 	effects  isa.EffectsArena
 	nodes    []Node
 	edges    []Edge
+	skel     []skelEdge
 	out      [][]int
 	readIDs  [][]int32
 	writeIDs [][]int32
@@ -194,9 +207,8 @@ func NewScratch(b *isa.Block, m *uarch.Model, opt Options, s *Scratch) (*Graph, 
 		}
 		g.Nodes[i] = Node{Index: i, Desc: d, Eff: eff}
 	}
-	g.Edges = s.edges[:0]
-	g.buildRegEdges(opt)
-	g.buildMemEdges(opt)
+	skel := buildStructure(b, m.Dialect, g.Nodes, opt, s)
+	g.Edges = fillEdges(s.edges[:0], skel, g.Nodes, m.LoadLat, opt)
 	s.edges = g.Edges
 	s.out = growOuter(s.out, n)
 	for i := range s.out {
@@ -242,9 +254,19 @@ func accumulatorKey(in *isa.Instruction, d isa.Dialect) (isa.RegKey, bool) {
 	return isa.RegKey{}, false
 }
 
-func (g *Graph) buildRegEdges(opt Options) {
-	n := len(g.Nodes)
-	s := g.scr
+// buildStructure appends the model-independent edge structure of one block
+// to s.skel and returns it: register RAW edges (plus WAW/WAR under
+// IncludeFalseDeps) in the order the two-iteration walk discovers them,
+// deduped keeping first occurrences, followed by memory edges. Nothing here
+// reads a uarch.Desc — structure depends only on block content, dialect,
+// and the structural options — which is what lets a Skeleton cache it
+// across models; latencies are filled per model by fillEdges.
+//
+// Only Eff is read from nodes, so structural-only callers (NewSkeleton)
+// may pass nodes with zero Descs.
+func buildStructure(b *isa.Block, d isa.Dialect, nodes []Node, opt Options, s *Scratch) []skelEdge {
+	n := len(nodes)
+	s.skel = s.skel[:0]
 	// lastWriter[id] = index of the most recent writer of the register
 	// with that interned ID in program order; simulate two consecutive
 	// iterations to find carried edges. The interner is shared with the
@@ -252,9 +274,9 @@ func (g *Graph) buildRegEdges(opt Options) {
 	// to dense-ID slices, so per-register tracking is slice indexing.
 	s.readIDs = growOuter(s.readIDs, n)
 	s.writeIDs = growOuter(s.writeIDs, n)
-	for i := range g.Nodes {
-		s.readIDs[i] = s.interner.InternAll(s.readIDs[i][:0], g.Nodes[i].Eff.Reads)
-		s.writeIDs[i] = s.interner.InternAll(s.writeIDs[i][:0], g.Nodes[i].Eff.Writes)
+	for i := range nodes {
+		s.readIDs[i] = s.interner.InternAll(s.readIDs[i][:0], nodes[i].Eff.Reads)
+		s.writeIDs[i] = s.interner.InternAll(s.writeIDs[i][:0], nodes[i].Eff.Writes)
 	}
 	nRegs := s.interner.Len()
 	s.lastWriter = growOuter(s.lastWriter, nRegs)
@@ -279,18 +301,17 @@ func (g *Graph) buildRegEdges(opt Options) {
 		if from.iter > to.iter {
 			return
 		}
-		consumer := &g.Block.Instrs[to.idx]
-		acc, isAcc := accumulatorKey(consumer, g.Model.Dialect)
-		lat := chainLat(&g.Nodes[from.idx].Desc)
-		g.Edges = append(g.Edges, Edge{
-			From: from.idx, To: to.idx, Kind: EdgeRAW, Carried: carried,
-			Lat: lat, Reg: key, ViaAccumulator: isAcc && acc == key,
+		consumer := &b.Instrs[to.idx]
+		acc, isAcc := accumulatorKey(consumer, d)
+		s.skel = append(s.skel, skelEdge{
+			from: int32(from.idx), to: int32(to.idx), kind: EdgeRAW, carried: carried,
+			reg: key, viaAcc: isAcc && acc == key,
 		})
 	}
 
 	for iter := 0; iter < 2; iter++ {
 		for i := 0; i < n; i++ {
-			node := &g.Nodes[i]
+			node := &nodes[i]
 			cur := regAccess{idx: i, iter: iter}
 			for ri, r := range node.Eff.Reads {
 				id := s.readIDs[i][ri]
@@ -305,9 +326,9 @@ func (g *Graph) buildRegEdges(opt Options) {
 				id := s.writeIDs[i][wi]
 				if opt.IncludeFalseDeps {
 					if pw := lastWriter[id]; pw.idx >= 0 && !(pw.iter == 1 && iter == 1) && pw.iter <= iter {
-						g.Edges = append(g.Edges, Edge{
-							From: pw.idx, To: i, Kind: EdgeWAW,
-							Carried: pw.iter != iter, Lat: 1, Reg: w,
+						s.skel = append(s.skel, skelEdge{
+							from: int32(pw.idx), to: int32(i), kind: EdgeWAW,
+							carried: pw.iter != iter, reg: w,
 						})
 					}
 					for _, rd := range lastReaders[id] {
@@ -318,9 +339,9 @@ func (g *Graph) buildRegEdges(opt Options) {
 							continue
 						}
 						if rd.iter <= iter {
-							g.Edges = append(g.Edges, Edge{
-								From: rd.idx, To: i, Kind: EdgeWAR,
-								Carried: rd.iter != iter, Lat: 1, Reg: w,
+							s.skel = append(s.skel, skelEdge{
+								from: int32(rd.idx), to: int32(i), kind: EdgeWAR,
+								carried: rd.iter != iter, reg: w,
 							})
 						}
 					}
@@ -330,29 +351,31 @@ func (g *Graph) buildRegEdges(opt Options) {
 			}
 		}
 	}
-	g.dedupeEdges()
+	s.skel = dedupeStructure(s.skel, s)
+	buildMemStructure(nodes, opt, s)
+	return s.skel
 }
 
-// dedupeEdges removes repeated edges in place, keeping first occurrences
-// in order.
-func (g *Graph) dedupeEdges() {
-	s := g.scr
+// dedupeStructure removes repeated edges in place, keeping first
+// occurrences in order. Memory edges are appended after this runs,
+// preserving the historical behavior of deduping register edges only.
+func dedupeStructure(edges []skelEdge, s *Scratch) []skelEdge {
 	if s.dedupe == nil {
-		s.dedupe = make(map[edgeIdent]struct{}, len(g.Edges))
+		s.dedupe = make(map[edgeIdent]struct{}, len(edges))
 	} else {
 		clear(s.dedupe)
 	}
 	w := 0
-	for _, e := range g.Edges {
-		k := edgeIdent{e.From, e.To, e.Kind, e.Carried, e.Reg}
+	for _, e := range edges {
+		k := edgeIdent{int(e.from), int(e.to), e.kind, e.carried, e.reg}
 		if _, dup := s.dedupe[k]; dup {
 			continue
 		}
 		s.dedupe[k] = struct{}{}
-		g.Edges[w] = e
+		edges[w] = e
 		w++
 	}
-	g.Edges = g.Edges[:w]
+	return edges[:w]
 }
 
 // chainLat is the latency a producer contributes along a register
@@ -367,20 +390,16 @@ func chainLat(d *uarch.Desc) float64 {
 	return float64(d.TotalLat)
 }
 
-// buildMemEdges adds store→load RAW dependencies over the same address
-// stream (same base and index registers). Direction matters for a loop
-// whose index advances monotonically: with store displacement S and load
-// displacement L, a later iteration's load re-reads a stored location only
-// if S - L > 0 (the store runs ahead of the load in address space); equal
-// displacements alias within one iteration when the store precedes the
-// load in program order.
-func (g *Graph) buildMemEdges(opt Options) {
+// buildMemStructure appends store→load RAW dependencies over the same
+// address stream (same base and index registers) to s.skel. Direction
+// matters for a loop whose index advances monotonically: with store
+// displacement S and load displacement L, a later iteration's load
+// re-reads a stored location only if S - L > 0 (the store runs ahead of
+// the load in address space); equal displacements alias within one
+// iteration when the store precedes the load in program order.
+func buildMemStructure(nodes []Node, opt Options, s *Scratch) {
 	if opt.MemCarriedWindow == 0 {
 		return
-	}
-	fwd := opt.StoreForwardLat
-	if fwd == 0 {
-		fwd = g.Model.LoadLat + 2
 	}
 	sameStream := func(a, b *isa.MemOp) bool {
 		if !a.Base.Valid() || !b.Base.Valid() {
@@ -398,37 +417,61 @@ func (g *Graph) buildMemEdges(opt Options) {
 		}
 		return true
 	}
-	for si := range g.Nodes {
-		for _, st := range g.Nodes[si].Eff.StoreOps {
-			for li := range g.Nodes {
-				for _, ld := range g.Nodes[li].Eff.LoadOps {
+	for si := range nodes {
+		for _, st := range nodes[si].Eff.StoreOps {
+			for li := range nodes {
+				for _, ld := range nodes[li].Eff.LoadOps {
 					if !sameStream(st, ld) {
 						continue
-					}
-					// The edge latency excludes the load's own chain
-					// latency (charged by the load's outgoing edges), so
-					// the total store→load-result cost equals fwd.
-					edgeLat := float64(fwd) - chainLat(&g.Nodes[li].Desc)
-					if edgeLat < 1 {
-						edgeLat = 1
 					}
 					delta := st.Disp - ld.Disp
 					switch {
 					case delta == 0 && si < li:
-						g.Edges = append(g.Edges, Edge{
-							From: si, To: li, Kind: EdgeMem,
-							Lat: edgeLat,
+						s.skel = append(s.skel, skelEdge{
+							from: int32(si), to: int32(li), kind: EdgeMem,
 						})
 					case delta > 0 && delta <= opt.MemCarriedWindow:
-						g.Edges = append(g.Edges, Edge{
-							From: si, To: li, Kind: EdgeMem, Carried: true,
-							Lat: edgeLat,
+						s.skel = append(s.skel, skelEdge{
+							from: int32(si), to: int32(li), kind: EdgeMem, carried: true,
 						})
 					}
 				}
 			}
 		}
 	}
+}
+
+// fillEdges materializes structural edges into dst with each kind's
+// model-dependent latency: RAW edges charge the producer's chain latency,
+// false dependencies one rename cycle, and memory edges the store-forward
+// latency minus the consuming load's own chain contribution (charged by
+// the load's outgoing edges, so the total store→load-result cost equals
+// the forward latency), floored at one cycle.
+func fillEdges(dst []Edge, skel []skelEdge, nodes []Node, loadLat int, opt Options) []Edge {
+	fwd := opt.StoreForwardLat
+	if fwd == 0 {
+		fwd = loadLat + 2
+	}
+	for i := range skel {
+		se := &skel[i]
+		e := Edge{
+			From: int(se.from), To: int(se.to), Kind: se.kind, Carried: se.carried,
+			Reg: se.reg, ViaAccumulator: se.viaAcc,
+		}
+		switch se.kind {
+		case EdgeRAW:
+			e.Lat = chainLat(&nodes[se.from].Desc)
+		case EdgeWAW, EdgeWAR:
+			e.Lat = 1
+		case EdgeMem:
+			e.Lat = float64(fwd) - chainLat(&nodes[se.to].Desc)
+			if e.Lat < 1 {
+				e.Lat = 1
+			}
+		}
+		dst = append(dst, e)
+	}
+	return dst
 }
 
 // CriticalPath returns the longest latency path through one iteration,
@@ -443,6 +486,13 @@ func (g *Graph) CriticalPath() float64 {
 // critical path in program order (the OSACA report's CP column). The
 // returned path is freshly allocated and safe to retain.
 func (g *Graph) CriticalPathDetail() (float64, []int) {
+	return g.CriticalPathDetailAppend(nil)
+}
+
+// CriticalPathDetailAppend is CriticalPathDetail writing the path into
+// buf's backing array (buf[:0]); the path is only valid until the buffer
+// is reused. A nil buf allocates, matching CriticalPathDetail.
+func (g *Graph) CriticalPathDetailAppend(buf []int) (float64, []int) {
 	n := len(g.Nodes)
 	s := g.scr
 	// dist[i] = longest path ending at i, including i's own latency.
@@ -473,7 +523,7 @@ func (g *Graph) CriticalPathDetail() (float64, []int) {
 			}
 		}
 	}
-	var path []int
+	path := buf[:0]
 	for v := bestEnd; v >= 0; v = prev[v] {
 		path = append(path, v)
 	}
@@ -503,6 +553,13 @@ type LCDResult struct {
 // accumulator edges (used to model accumulator forwarding); pass -1 for
 // table latencies.
 func (g *Graph) LoopCarried(accLatOverride float64) LCDResult {
+	return g.LoopCarriedAppend(accLatOverride, nil)
+}
+
+// LoopCarriedAppend is LoopCarried writing the winning cycle's path into
+// buf's backing array (buf[:0]); the result's Path is only valid until
+// the buffer is reused. A nil buf allocates, matching LoopCarried.
+func (g *Graph) LoopCarriedAppend(accLatOverride float64, buf []int) LCDResult {
 	// First pass finds the dominant carried edge by cycle latency alone;
 	// the (allocating) path is materialized only for the winner.
 	best := LCDResult{}
@@ -531,7 +588,7 @@ func (g *Graph) LoopCarried(accLatOverride float64) LCDResult {
 	if bestEdge >= 0 {
 		e := &g.Edges[bestEdge]
 		g.longestPathBetween(e.To, e.From, accLatOverride)
-		best.Path = g.materializePath(e.To, e.From)
+		best.Path = g.materializePath(e.To, e.From, buf)
 	}
 	return best
 }
@@ -576,10 +633,11 @@ func (g *Graph) longestPathBetween(src, dst int, accLatOverride float64) float64
 }
 
 // materializePath rebuilds the src→dst path from the predecessor chain the
-// last longestPathBetween left behind, as a fresh slice safe to retain.
-func (g *Graph) materializePath(src, dst int) []int {
+// last longestPathBetween left behind, appended to buf[:0] (a nil buf
+// yields a fresh slice safe to retain).
+func (g *Graph) materializePath(src, dst int, buf []int) []int {
 	prev := g.scr.prev
-	var path []int
+	path := buf[:0]
 	for v := dst; v != -1; v = prev[v] {
 		path = append(path, v)
 		if v == src {

@@ -1,0 +1,147 @@
+package depgraph
+
+import (
+	"fmt"
+
+	"incore/internal/isa"
+	"incore/internal/uarch"
+)
+
+// Skeleton is the model-independent compiled form of a block's dependency
+// structure: per-instruction architectural effects plus the deduped edge
+// list with everything but latencies resolved, and the precomputed
+// outgoing-edge adjacency. Building a graph for a model then reduces to
+// resolving descriptors (ResolveDescs, itself cacheable per model) and
+// filling edge latencies (Instantiate) — no effect extraction, no register
+// interning, no two-iteration walk, no dedupe map.
+//
+// A Skeleton is immutable after NewSkeleton and safe to share across
+// goroutines and models. It retains its source block (pinning the MemOp
+// pointers the effects reference), so cached skeletons keep their blocks
+// alive — intended for the process-lifetime artifact cache in
+// internal/pipeline.
+type Skeleton struct {
+	block   *isa.Block
+	dialect isa.Dialect
+	// Structural options the edge list was built under; Instantiate
+	// callers must pass options agreeing on these fields.
+	falseDeps bool
+	memWindow int64
+
+	effs  []isa.Effects
+	edges []skelEdge
+	// out[i] lists indices into edges with from == i; shared read-only by
+	// every instantiated graph.
+	out [][]int
+}
+
+// NewSkeleton builds the durable structure of b under opt's structural
+// fields (IncludeFalseDeps, MemCarriedWindow; latency-side options are
+// applied at Instantiate). The block's own dialect drives effect
+// extraction, so the skeleton serves any model of that dialect.
+func NewSkeleton(b *isa.Block, opt Options) (*Skeleton, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(b.Instrs)
+	sk := &Skeleton{
+		block:     b,
+		dialect:   b.Dialect,
+		falseDeps: opt.IncludeFalseDeps,
+		memWindow: opt.MemCarriedWindow,
+		effs:      make([]isa.Effects, n),
+	}
+	nodes := make([]Node, n)
+	for i := range b.Instrs {
+		sk.effs[i] = isa.InstrEffects(&b.Instrs[i], b.Dialect)
+		nodes[i] = Node{Index: i, Eff: sk.effs[i]}
+	}
+	s := &Scratch{}
+	skel := buildStructure(b, b.Dialect, nodes, opt, s)
+	sk.edges = append([]skelEdge(nil), skel...)
+	sk.out = make([][]int, n)
+	for ei := range sk.edges {
+		f := sk.edges[ei].from
+		sk.out[f] = append(sk.out[f], ei)
+	}
+	return sk, nil
+}
+
+// Block returns the block the skeleton was built from.
+func (sk *Skeleton) Block() *isa.Block { return sk.block }
+
+// Matches reports whether opt agrees with the skeleton on the structural
+// options its edge list was built under.
+func (sk *Skeleton) Matches(opt Options) bool {
+	return sk.falseDeps == opt.IncludeFalseDeps && sk.memWindow == opt.MemCarriedWindow
+}
+
+// ResolveDescs resolves every instruction's descriptor against one model —
+// the per-(block, model) half of graph construction that Instantiate
+// consumes. The returned slice is freshly allocated, treated as immutable,
+// and safe to cache and share across goroutines; error text matches what
+// NewScratch reports for the same lookup failure.
+func (sk *Skeleton) ResolveDescs(m *uarch.Model, degrade bool) ([]uarch.Desc, error) {
+	b := sk.block
+	descs := make([]uarch.Desc, len(b.Instrs))
+	for i := range b.Instrs {
+		in := &b.Instrs[i]
+		eff := sk.effs[i]
+		if degrade {
+			descs[i] = m.LookupEffDegraded(in, &eff)
+			continue
+		}
+		d, err := m.LookupEff(in, &eff)
+		if err != nil {
+			return nil, fmt.Errorf("depgraph: block %s: instr %d (%s): %w", b.Name, i, in.Mnemonic, err)
+		}
+		descs[i] = d
+	}
+	return descs, nil
+}
+
+// Instantiate materializes the skeleton against one model into s's arenas,
+// producing a graph identical to NewScratch(b, m, opt, s) — same nodes,
+// same edge order, same latencies. b must be content-identical to the
+// skeleton's source block (same instruction sequence and dialect), descs
+// must come from ResolveDescs against m (or a cache of it) with
+// opt.DegradeUnknown, and opt must satisfy Matches; the artifact keys in
+// internal/pipeline enforce all three. The graph is valid until s's next
+// use, like NewScratch.
+func (sk *Skeleton) Instantiate(b *isa.Block, m *uarch.Model, descs []uarch.Desc, opt Options, s *Scratch) *Graph {
+	if s == nil {
+		s = &Scratch{}
+	}
+	g := &s.graph
+	*g = Graph{Block: b, Model: m, scr: s}
+	n := len(sk.effs)
+	s.nodes = growOuter(s.nodes, n)
+	g.Nodes = s.nodes[:n]
+	for i := range g.Nodes {
+		g.Nodes[i] = Node{Index: i, Desc: descs[i], Eff: sk.effs[i]}
+	}
+	g.Edges = fillEdges(s.edges[:0], sk.edges, g.Nodes, m.LoadLat, opt)
+	s.edges = g.Edges
+	g.out = sk.out
+	return g
+}
+
+// SizeEstimate approximates the skeleton's retained heap bytes for cache
+// accounting. It is an estimate by design: fixed per-element costs stand
+// in for exact allocator sizes, and the retained source block is counted
+// by the parsed-block tier, not here.
+func (sk *Skeleton) SizeEstimate() int {
+	const (
+		edgeBytes = 40 // skelEdge
+		effBytes  = 96 // isa.Effects header
+	)
+	size := 128 + len(sk.edges)*edgeBytes + len(sk.effs)*effBytes
+	for i := range sk.effs {
+		e := &sk.effs[i]
+		size += 24*(len(e.Reads)+len(e.Writes)) + 8*(len(e.LoadOps)+len(e.StoreOps))
+	}
+	for _, o := range sk.out {
+		size += 24 + 8*len(o)
+	}
+	return size
+}

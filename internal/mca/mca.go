@@ -84,19 +84,16 @@ type sInstr struct {
 	lat      float64
 }
 
-// scratch holds the reusable arenas one Predict call needs; a sync.Pool
-// makes a steady stream of predictions do O(1) heap work after warmup
-// and concurrent callers safe.
+// scratch holds the reusable replay arenas one prediction needs; a
+// sync.Pool makes a steady stream of predictions do O(1) heap work after
+// warmup and concurrent callers safe. The static front-end lives in
+// Compiled, not here, so one compile can serve any number of replays.
 type scratch struct {
-	interner isa.RegInterner
-	effects  isa.EffectsArena
-	static   []sInstr
 	producer []int32 // by reg ID: dynamic index of last writer, -1 none
 	ready    []float64
 	finish   []float64
 	dispatch []float64
 	ports    portsched.Group
-	addrIDs  []int32 // per-instruction address-register set (temp)
 	// Round-robin rotation counters per distinct port mask (the former
 	// rrCounter map); realistic models carry ~10 distinct masks.
 	rrMasks  []uarch.PortMask
@@ -138,26 +135,35 @@ func (s *scratch) rrNext(mask uarch.PortMask) int {
 	return 0
 }
 
-// Predict runs the baseline timeline model for the block and returns the
-// predicted steady-state cycles per iteration.
-func Predict(b *isa.Block, m *uarch.Model, p Params) (*Result, error) {
+// Compiled is the static front-end of one baseline prediction: the
+// block's instructions resolved against one model and lowered to the
+// interned-ID tables the replay loop reads. A Compiled is immutable after
+// Compile, safe for concurrent Predict calls, and cacheable per
+// (block content, model) — the replay itself draws its dynamic state from
+// a pooled scratch.
+type Compiled struct {
+	model  *uarch.Model
+	params Params
+	static []sInstr
+	nRegs  int
+}
+
+// Compile lowers block b against model m under scheduler parameters p —
+// the cacheable half of Predict. The error surface matches Predict's.
+func Compile(b *isa.Block, m *uarch.Model, p Params) (*Compiled, error) {
 	if err := b.Validate(); err != nil {
 		return nil, err
 	}
 	if p.DispatchWidth <= 0 {
 		p.DispatchWidth = 4
 	}
-	s := scratchPool.Get().(*scratch)
-	defer scratchPool.Put(s)
-	s.interner.Reset()
-	s.effects.Reset()
-	s.rrMasks, s.rrCounts = s.rrMasks[:0], s.rrCounts[:0]
-
-	s.static = grow(s.static, len(b.Instrs))
-	static := s.static
+	c := &Compiled{model: m, params: p, static: make([]sInstr, len(b.Instrs))}
+	var interner isa.RegInterner
+	var addrIDs []int32
+	static := c.static
 	for i := range b.Instrs {
 		in := &b.Instrs[i]
-		eff := isa.InstrEffectsArena(in, m.Dialect, &s.effects)
+		eff := isa.InstrEffects(in, m.Dialect)
 		d, err := m.LookupEff(in, &eff)
 		if err != nil {
 			return nil, fmt.Errorf("mca: block %s instr %d (%s): %w", b.Name, i, in.Mnemonic, err)
@@ -179,28 +185,53 @@ func Predict(b *isa.Block, m *uarch.Model, p Params) (*Result, error) {
 		if p.VecLatBias > 0 && isVecFP(in) {
 			lat += float64(p.VecLatBias)
 		}
-		s.addrIDs = s.addrIDs[:0]
+		addrIDs = addrIDs[:0]
 		for _, ops := range [][]*isa.MemOp{eff.LoadOps, eff.StoreOps} {
 			for _, mo := range ops {
 				if mo.Base.Valid() {
-					s.addrIDs = append(s.addrIDs, s.interner.Intern(mo.Base.Key()))
+					addrIDs = append(addrIDs, interner.Intern(mo.Base.Key()))
 				}
 				if mo.Index.Valid() && mo.Index.Class != isa.ClassVec {
-					s.addrIDs = append(s.addrIDs, s.interner.Intern(mo.Index.Key()))
+					addrIDs = append(addrIDs, interner.Intern(mo.Index.Key()))
 				}
 			}
 		}
 		si := &static[i]
 		si.desc = d
 		si.lat = lat
-		si.writeIDs = s.interner.InternAll(si.writeIDs[:0], eff.Writes)
+		si.writeIDs = interner.InternAll(si.writeIDs[:0], eff.Writes)
 		si.dataIDs = si.dataIDs[:0]
 		for _, r := range eff.Reads {
-			if id := s.interner.Intern(r); !containsID(s.addrIDs, id) {
+			if id := interner.Intern(r); !containsID(addrIDs, id) {
 				si.dataIDs = append(si.dataIDs, id)
 			}
 		}
 	}
+	c.nRegs = interner.Len()
+	return c, nil
+}
+
+// SizeEstimate approximates the compiled tables' retained heap bytes for
+// cache accounting (an estimate, not an exact account; descriptor µ-op
+// slices are usually shared with the model's tables and counted anyway as
+// an upper bound).
+func (c *Compiled) SizeEstimate() int {
+	size := 64 + len(c.static)*176 // sInstr incl. embedded desc
+	for i := range c.static {
+		si := &c.static[i]
+		size += 4*(len(si.dataIDs)+len(si.writeIDs)) + 24*len(si.desc.Uops)
+	}
+	return size
+}
+
+// Predict replays the compiled block through the dispatch/issue/writeback
+// timeline and returns the predicted steady-state cycles per iteration.
+func (c *Compiled) Predict() (*Result, error) {
+	m, p := c.model, c.params
+	s := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(s)
+	s.rrMasks, s.rrCounts = s.rrMasks[:0], s.rrCounts[:0]
+	static := c.static
 
 	// Like the llvm-mca CLI, the prediction is total cycles over 100
 	// iterations divided by 100 — including pipeline ramp-up, which
@@ -209,7 +240,7 @@ func Predict(b *isa.Block, m *uarch.Model, p Params) (*Result, error) {
 	nStatic := len(static)
 	nDyn := nStatic * meas
 
-	s.producer = grow(s.producer, s.interner.Len())
+	s.producer = grow(s.producer, c.nRegs)
 	producer := s.producer
 	for i := range producer {
 		producer[i] = -1
@@ -286,6 +317,19 @@ func Predict(b *isa.Block, m *uarch.Model, p Params) (*Result, error) {
 		total = 1
 	}
 	return &Result{CyclesPerIter: total / meas, Iters: meas}, nil
+}
+
+// Predict runs the baseline timeline model for the block and returns the
+// predicted steady-state cycles per iteration: Compile followed by one
+// replay. Callers issuing repeated predictions of one (block, model)
+// should compile once and replay the Compiled form (internal/pipeline
+// caches it).
+func Predict(b *isa.Block, m *uarch.Model, p Params) (*Result, error) {
+	c, err := Compile(b, m, p)
+	if err != nil {
+		return nil, err
+	}
+	return c.Predict()
 }
 
 // PredictDefault runs Predict with the per-architecture default parameters.

@@ -85,25 +85,47 @@ func AnalyzeWarm(an *core.Analyzer, b *isa.Block, m *uarch.Model) (*core.Result,
 	res, err := doStored(shared, key,
 		(*core.Result).MarshalStable,
 		func(data []byte) (*core.Result, error) { return core.UnmarshalStable(data, b, m) },
-		func() (*core.Result, error) { computed = true; return an.Analyze(b, m) })
+		func() (*core.Result, error) { computed = true; return analyzeCold(an, b, m) })
 	return res, err == nil && !computed, err
 }
 
 // Simulate memoizes sim.Run by (machine model, simulator config, block
-// content). Runs carrying a trace callback execute directly: a trace is a
-// side effect the cache must not swallow.
+// content). Runs carrying a trace callback execute directly — a trace is a
+// side effect the result cache must not swallow — but still draw their
+// compiled Program from the artifact tier: tracing changes what Run
+// reports, never what Compile produces, so traced and untraced runs of
+// one (block, model) share a single compile.
 func Simulate(b *isa.Block, m *uarch.Model, cfg sim.Config) (*sim.Result, error) {
 	if cfg.Trace != nil {
-		return sim.Run(b, m, cfg)
+		p, err := CompileProgram(b, m)
+		if err != nil {
+			return nil, err
+		}
+		return p.Run(cfg)
 	}
 	key := "sim\x00" + m.CacheKey() + "\x00" + simConfigKey(cfg) + "\x00" + BlockKey(b)
-	return doStoredJSON(shared, key, func() (*sim.Result, error) { return sim.Run(b, m, cfg) })
+	return doStoredJSON(shared, key, func() (*sim.Result, error) {
+		p, err := CompileProgram(b, m)
+		if err != nil {
+			return nil, err
+		}
+		return p.Run(cfg)
+	})
 }
 
 // MCAPredict memoizes mca.PredictDefault by (machine model, block content).
+// The memo miss replays a cached static schedule (compiledMCA), so
+// distinct sim-config sweeps and post-restart recomputations share the
+// lowering work.
 func MCAPredict(b *isa.Block, m *uarch.Model) (*mca.Result, error) {
 	key := "mca\x00" + m.CacheKey() + "\x00" + BlockKey(b)
-	return doStoredJSON(shared, key, func() (*mca.Result, error) { return mca.PredictDefault(b, m) })
+	return doStoredJSON(shared, key, func() (*mca.Result, error) {
+		c, err := compiledMCA(b, m)
+		if err != nil {
+			return nil, err
+		}
+		return c.Predict()
+	})
 }
 
 // MeasureInstr memoizes ibench.Measure by (machine model, instruction

@@ -205,6 +205,10 @@ type HealthResponse struct {
 	// Jobs reports the job queue: backlog depth and per-state job
 	// counts next to the store accounting.
 	Jobs jobqueue.Stats `json:"jobs"`
+	// Compiled reports the compiled-artifact tier: programs, parsed
+	// blocks, and depgraph skeletons cached for the process lifetime,
+	// with hit/attach/compile counts and an estimated byte footprint.
+	Compiled pipeline.ArtifactStats `json:"compiled"`
 }
 
 // maxInlineModels bounds the parsed-inline-machine cache; above it the
@@ -425,7 +429,12 @@ func (s *Server) analyzeTracked(req AnalyzeRequest) (*AnalyzeResponse, bool, err
 	if name == "" {
 		name = "block"
 	}
-	b, err := isa.ParseMarkedBlock(name, m.Key, m.Dialect, req.Asm)
+	// The parse rides the process-wide artifact cache: repeated requests
+	// carrying the same listing for the same (arch, dialect) share one
+	// parsed block — and, through content keys, one skeleton and one set
+	// of memoized results downstream. The returned block is shared; the
+	// request pipeline treats blocks as immutable already.
+	b, err := pipeline.ParseRequestBlock(name, m.Key, m.Dialect, req.Asm)
 	if err != nil {
 		return nil, false, wrapAPIError(CodeInvalidRequest, http.StatusBadRequest, err)
 	}
@@ -638,10 +647,11 @@ func (s *Server) handleExportModel(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	resp := HealthResponse{
-		Status: "ok",
-		Models: len(uarch.Keys()),
-		Cache:  pipeline.Shared().Stats(),
-		Jobs:   s.jobs.Stats(),
+		Status:   "ok",
+		Models:   len(uarch.Keys()),
+		Cache:    pipeline.Shared().Stats(),
+		Jobs:     s.jobs.Stats(),
+		Compiled: pipeline.CompiledArtifacts().Stats(),
 	}
 	if st := pipeline.PersistentStore(); st != nil {
 		stats := st.Stats()

@@ -178,6 +178,25 @@ func Compile(b *isa.Block, m *uarch.Model) (*Program, error) {
 	return p, nil
 }
 
+// SizeEstimate approximates the program's retained heap bytes for cache
+// accounting. It is an estimate by design — fixed per-element costs stand
+// in for exact allocator sizes, and the retained block and model are
+// counted by their own tiers (the model is shared process-wide anyway).
+func (p *Program) SizeEstimate() int {
+	size := 256 + len(p.instrs)*168 + len(p.uops)*48
+	for i := range p.instrs {
+		pi := &p.instrs[i]
+		size += 4 * (len(pi.addrIDs) + len(pi.dataIDs) + len(pi.readIDs) + len(pi.writeIDs))
+	}
+	for _, d := range p.loadDeps {
+		size += 24 * len(d)
+	}
+	for _, n := range p.names {
+		size += 16 + len(n)
+	}
+	return size
+}
+
 // Block returns the compiled block.
 func (p *Program) Block() *isa.Block { return p.block }
 
