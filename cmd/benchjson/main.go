@@ -31,6 +31,7 @@ import (
 	"incore/internal/pipeline"
 	"incore/internal/serve"
 	"incore/internal/sim"
+	"incore/internal/sweep"
 	"incore/internal/uarch"
 )
 
@@ -155,23 +156,69 @@ func suite() map[string]func(b *testing.B) {
 			}
 		}
 	}
+	// SweepVariantWarm is the steady state of a node-parameter design-space
+	// sweep: the variant differs from the base only in node-level fields,
+	// so it keeps the base's port signature and the compiled tier serves it
+	// the base's skeleton and descriptor table — the setup panics if the
+	// variant's first analysis compiled anything. SweepVariantPortDelta is
+	// a port-count variant: the signature changes, exactly one descriptor
+	// table recompiles, and the skeleton stays shared. Both measured loops
+	// run the arena path and are budgeted at exactly 0 allocs/op.
+	variantBench := func(blk *isa.Block, arch, param string, value float64, wantDescsDelta int64) func(b *testing.B) {
+		m := uarch.MustGet(arch)
+		ar := &pipeline.InternalArena{}
+		if _, err := pipeline.AnalyzeInternal(an, blk, m, ar); err != nil {
+			panic(err)
+		}
+		vs, err := sweep.Variants(m, []sweep.Axis{{Param: param, Values: []float64{value}}})
+		if err != nil {
+			panic(err)
+		}
+		vm := vs[0].Model
+		before := pipeline.CompiledArtifacts().Stats()
+		var2 := &pipeline.InternalArena{}
+		if _, err := pipeline.AnalyzeInternal(an, blk, vm, var2); err != nil {
+			panic(err)
+		}
+		after := pipeline.CompiledArtifacts().Stats()
+		if d := after.Descs - before.Descs; d != wantDescsDelta {
+			panic(fmt.Sprintf("%s variant on %s/%s: descriptor tables grew by %d, want %d",
+				param, arch, blk.Name, d, wantDescsDelta))
+		}
+		if after.Skeletons != before.Skeletons {
+			panic(fmt.Sprintf("%s variant on %s/%s recompiled a skeleton; skeletons are model-independent",
+				param, arch, blk.Name))
+		}
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := pipeline.AnalyzeInternal(an, blk, vm, var2); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	glcPortValue := float64(uarch.MustGet("goldencove").LoadPorts.Count() - 1)
 	return map[string]func(b *testing.B){
-		"SimRun/goldencove/striad":           simBench(striadGLC, "goldencove"),
-		"SimRun/neoversev2/j3d27":            simBench(j3d27V2, "neoversev2"),
-		"SimRun/zen4/pi":                     simBench(piZen4, "zen4"),
-		"SimCompile/goldencove/striad":       compileBench(striadGLC, "goldencove"),
-		"SimCompile/neoversev2/j3d27":        compileBench(j3d27V2, "neoversev2"),
-		"SimCompile/zen4/pi":                 compileBench(piZen4, "zen4"),
-		"SimRunWarm/goldencove/striad":       warmRunBench(striadGLC, "goldencove"),
-		"SimRunWarm/neoversev2/j3d27":        warmRunBench(j3d27V2, "neoversev2"),
-		"SimRunWarm/zen4/pi":                 warmRunBench(piZen4, "zen4"),
-		"Analyze/goldencove/striad":          analyzeBench(striadGLC, "goldencove"),
-		"Analyze/neoversev2/j3d27":           analyzeBench(j3d27V2, "neoversev2"),
-		"Analyze/zen4/pi":                    analyzeBench(piZen4, "zen4"),
-		"AnalyzeInternal/goldencove/striad":  internalBench(striadGLC, "goldencove"),
-		"AnalyzeInternal/neoversev2/j3d27":   internalBench(j3d27V2, "neoversev2"),
-		"AnalyzeInternal/zen4/pi":            internalBench(piZen4, "zen4"),
-		"ServeAnalyzeWarm/goldencove/striad": serveWarmBench(striadGLC, "goldencove"),
+		"SimRun/goldencove/striad":                simBench(striadGLC, "goldencove"),
+		"SimRun/neoversev2/j3d27":                 simBench(j3d27V2, "neoversev2"),
+		"SimRun/zen4/pi":                          simBench(piZen4, "zen4"),
+		"SimCompile/goldencove/striad":            compileBench(striadGLC, "goldencove"),
+		"SimCompile/neoversev2/j3d27":             compileBench(j3d27V2, "neoversev2"),
+		"SimCompile/zen4/pi":                      compileBench(piZen4, "zen4"),
+		"SimRunWarm/goldencove/striad":            warmRunBench(striadGLC, "goldencove"),
+		"SimRunWarm/neoversev2/j3d27":             warmRunBench(j3d27V2, "neoversev2"),
+		"SimRunWarm/zen4/pi":                      warmRunBench(piZen4, "zen4"),
+		"Analyze/goldencove/striad":               analyzeBench(striadGLC, "goldencove"),
+		"Analyze/neoversev2/j3d27":                analyzeBench(j3d27V2, "neoversev2"),
+		"Analyze/zen4/pi":                         analyzeBench(piZen4, "zen4"),
+		"AnalyzeInternal/goldencove/striad":       internalBench(striadGLC, "goldencove"),
+		"AnalyzeInternal/neoversev2/j3d27":        internalBench(j3d27V2, "neoversev2"),
+		"AnalyzeInternal/zen4/pi":                 internalBench(piZen4, "zen4"),
+		"ServeAnalyzeWarm/goldencove/striad":      serveWarmBench(striadGLC, "goldencove"),
+		"SweepVariantWarm/goldencove/striad":      variantBench(striadGLC, "goldencove", "mem_bandwidth_gbs", 123, 0),
+		"SweepVariantWarm/zen4/pi":                variantBench(piZen4, "zen4", "tdp_watts", 123, 0),
+		"SweepVariantPortDelta/goldencove/striad": variantBench(striadGLC, "goldencove", "load_ports", glcPortValue, 1),
 	}
 }
 

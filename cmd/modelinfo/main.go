@@ -12,14 +12,24 @@
 //	modelinfo -machine custom.json         # inspect a machine file
 //	modelinfo -machine-dir models/ -arch mykey
 //	modelinfo -check a.json b.json ...     # validate machine files
+//	modelinfo -diff a.json b.json          # parameter delta between two models
 //
 // -check loads every named machine file, validates it, and runs one
 // smoke analysis through the in-core analyzer per loaded model, so a CI
 // gate can prove exported/edited machine files stay loadable end to end.
 // It exits non-zero on the first file that fails.
+//
+// -diff compares two machine files (or registered keys) field by field
+// on their canonical wire forms and reports whether their fingerprints
+// and port signatures agree — i.e. whether the two models would share
+// result-cache entries (identical fingerprints) and whether a sweep or
+// server would share compiled artifacts between them (identical port
+// signatures; a node-only delta keeps the signature).
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -37,6 +47,7 @@ func main() {
 	machineDir := flag.String("machine-dir", "", "register every *.json machine file in this directory before resolving -arch")
 	keys := flag.Bool("keys", false, "print the registered model keys, one per line")
 	check := flag.Bool("check", false, "validate the machine files named as arguments (load + smoke analysis)")
+	diff := flag.Bool("diff", false, "compare the two machine files (or registered keys) named as arguments")
 	instrs := flag.Bool("instrs", false, "dump the instruction table")
 	mnemonic := flag.String("mnemonic", "", "show only entries for this mnemonic")
 	export := flag.String("export", "", "write the model as a JSON machine file to this path")
@@ -58,6 +69,17 @@ func main() {
 				fmt.Fprintf(os.Stderr, "modelinfo: %s: FAIL: %v\n", path, err)
 				os.Exit(1)
 			}
+		}
+		return
+	}
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "modelinfo: -diff needs exactly two machine files or keys")
+			os.Exit(2)
+		}
+		if err := diffModels(flag.Arg(0), flag.Arg(1)); err != nil {
+			fmt.Fprintf(os.Stderr, "modelinfo: %v\n", err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -223,6 +245,161 @@ func checkFile(path string) error {
 	fmt.Printf("OK %s: %s fingerprint=%s cache-key=%s smoke=%.2f cy/it\n",
 		path, m.Key, m.Fingerprint()[:12], m.CacheKey(), res.Prediction)
 	return nil
+}
+
+// loadModelArg resolves one -diff argument: a machine-file path if the
+// file exists, a registered model key otherwise. Files go through
+// ReadJSON (not LoadFile) so diffing never mutates the registry.
+func loadModelArg(arg string) (*uarch.Model, error) {
+	f, err := os.Open(arg)
+	if err != nil {
+		if m, gerr := uarch.Get(arg); gerr == nil {
+			return m, nil
+		}
+		return nil, fmt.Errorf("%s: not a readable machine file (%v) or registered key", arg, err)
+	}
+	defer f.Close()
+	m, err := uarch.ReadJSON(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", arg, err)
+	}
+	return m, nil
+}
+
+// wireMap renders a model's canonical machine-file form as a generic
+// map, so the diff compares exactly what the fingerprint hashes.
+func wireMap(m *uarch.Model) (map[string]json.RawMessage, error) {
+	var buf strings.Builder
+	if err := m.WriteJSON(&buf); err != nil {
+		return nil, err
+	}
+	var out map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(buf.String()), &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// diffModels prints the field-level delta between two models' canonical
+// wire forms, an instruction-table summary, and the two identity
+// verdicts: fingerprint (result-cache sharing) and port signature
+// (compiled-artifact sharing).
+func diffModels(aArg, bArg string) error {
+	a, err := loadModelArg(aArg)
+	if err != nil {
+		return err
+	}
+	b, err := loadModelArg(bArg)
+	if err != nil {
+		return err
+	}
+	wa, err := wireMap(a)
+	if err != nil {
+		return err
+	}
+	wb, err := wireMap(b)
+	if err != nil {
+		return err
+	}
+
+	fields := map[string]bool{}
+	for k := range wa {
+		fields[k] = true
+	}
+	for k := range wb {
+		fields[k] = true
+	}
+	names := make([]string, 0, len(fields))
+	for k := range fields {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+
+	changed := 0
+	render := func(raw json.RawMessage, ok bool) string {
+		if !ok {
+			return "(absent)"
+		}
+		var buf bytes.Buffer
+		s := string(raw)
+		if json.Compact(&buf, raw) == nil {
+			s = buf.String()
+		}
+		if len(s) > 64 {
+			s = s[:61] + "..."
+		}
+		return s
+	}
+	for _, k := range names {
+		if k == "instructions" {
+			continue
+		}
+		va, oka := wa[k]
+		vb, okb := wb[k]
+		if oka == okb && string(va) == string(vb) {
+			continue
+		}
+		changed++
+		fmt.Printf("%-20s %s -> %s\n", k, render(va, oka), render(vb, okb))
+	}
+
+	added, removed, edited := diffEntries(a.Entries, b.Entries)
+	if added+removed+edited > 0 {
+		changed++
+		fmt.Printf("%-20s %d entries -> %d entries (%d added, %d removed, %d changed)\n",
+			"instructions", len(a.Entries), len(b.Entries), added, removed, edited)
+	}
+	if changed == 0 {
+		fmt.Println("models are identical")
+	}
+
+	if a.Fingerprint() == b.Fingerprint() {
+		fmt.Printf("fingerprints: identical (%s) — the models share result-cache entries\n", a.Fingerprint()[:12])
+	} else {
+		fmt.Printf("fingerprints: differ (%s vs %s) — results are cached separately\n",
+			a.Fingerprint()[:12], b.Fingerprint()[:12])
+	}
+	if a.PortSignature() == b.PortSignature() {
+		fmt.Printf("port signatures: identical (%s) — compiled artifacts (descriptors, schedules, programs) are shared\n",
+			a.PortSignature()[:12])
+	} else {
+		fmt.Printf("port signatures: differ (%s vs %s) — port-dependent artifacts compile per model\n",
+			a.PortSignature()[:12], b.PortSignature()[:12])
+	}
+	return nil
+}
+
+// diffEntries summarizes the instruction-table delta, keyed by
+// (mnemonic, sig, width).
+func diffEntries(ea, eb []uarch.Entry) (added, removed, edited int) {
+	type key struct {
+		mnemonic, sig string
+		width         int
+	}
+	index := func(es []uarch.Entry) map[key]string {
+		m := make(map[key]string, len(es))
+		for _, e := range es {
+			j, _ := json.Marshal(e)
+			m[key{e.Mnemonic, e.Sig, e.Width}] = string(j)
+		}
+		return m
+	}
+	ma, mb := index(ea), index(eb)
+	for k, vb := range mb {
+		va, ok := ma[k]
+		switch {
+		case !ok:
+			added++
+		case va != vb:
+			edited++
+		}
+	}
+	for k := range ma {
+		if _, ok := mb[k]; !ok {
+			removed++
+		}
+	}
+	return added, removed, edited
 }
 
 func portNames(m *uarch.Model, mask uarch.PortMask) string {

@@ -9,7 +9,7 @@
 //	serve [-addr :8080] [-cache-dir DIR] [-jobs-dir DIR] [-job-workers N] [-j N]
 //	      [-peer-store URL] [-peer-timeout D] [-peer-fault-rate F] [-peer-fault-seed N]
 //	      [-machine FILE ...] [-machine-dir DIR]
-//	      [-max-body BYTES] [-max-instrs N] [-analysis-timeout D]
+//	      [-max-body BYTES] [-max-instrs N] [-analysis-timeout D] [-max-sweep-variants N]
 //	      [-cpuprofile FILE] [-memprofile FILE] [-pprof ADDR]
 //
 // -machine (repeatable) and -machine-dir register JSON machine files at
@@ -44,6 +44,7 @@
 //
 //	POST   /v1/analyze  {"arch":"zen4","asm":"...","name":"..."} or {"machine":{...},"asm":"..."}
 //	POST   /v1/batch    {"requests":[{...},{...}]}
+//	POST   /v1/sweep    {"arch":"zen4","axes":[{"param":"tdp_watts","values":[200,280]}]}
 //	POST   /v1/jobs     {"requests":[{...},{...}]} → 202 {"id","status",...}
 //	GET    /v1/jobs/{id}
 //	GET    /v1/jobs?state=running
@@ -54,6 +55,7 @@
 //	GET    /v1/store/{hash}   (peer replication)
 //	PUT    /v1/store/{hash}   (peer replication)
 //	GET    /healthz
+//	GET    /metrics
 //
 // Example:
 //
@@ -102,6 +104,7 @@ func main() {
 	maxBody := flag.Int64("max-body", serve.DefaultMaxBodyBytes, "request body size cap in bytes (413 beyond)")
 	maxInstrs := flag.Int("max-instrs", serve.DefaultMaxBlockInstrs, "per-block instruction cap (413 beyond)")
 	analysisTimeout := flag.Duration("analysis-timeout", serve.DefaultAnalysisTimeout, "per-block analysis deadline (503 beyond; negative disables)")
+	maxSweepVariants := flag.Int("max-sweep-variants", serve.DefaultMaxSweepVariants, "per-request sweep cross-product cap (413 beyond; negative disables)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the serving window to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on shutdown")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this loopback address (e.g. 127.0.0.1:6060; empty = off)")
@@ -174,12 +177,13 @@ func main() {
 	}
 
 	api, err := serve.NewWithOptions(serve.Options{
-		MaxBodyBytes:    *maxBody,
-		MaxBlockInstrs:  *maxInstrs,
-		AnalysisTimeout: *analysisTimeout,
-		JobsDir:         *jobsDir,
-		JobWorkers:      *jobWorkers,
-		AccessLog:       log.Default(),
+		MaxBodyBytes:     *maxBody,
+		MaxBlockInstrs:   *maxInstrs,
+		AnalysisTimeout:  *analysisTimeout,
+		MaxSweepVariants: *maxSweepVariants,
+		JobsDir:          *jobsDir,
+		JobWorkers:       *jobWorkers,
+		AccessLog:        log.Default(),
 	})
 	if err != nil {
 		stopProfiles()

@@ -33,12 +33,21 @@ import (
 //
 // Keys are content keys, exactly like the memo tier: block content via
 // BlockKey (or a sha256 of raw request text for the parse cache), models
-// via Model.CacheKey — so an in-place model mutation plus Reindex (new
-// fingerprint) misses, and a what-if model can never share a Program with
-// the built-in it shadows. Errors are cached like successes (determinism
-// over optimism, matching Cache.Do). SwapTiers deliberately does not touch
-// this tier: artifacts are content-addressed and model-fingerprinted, so
-// they stay valid across store swaps.
+// via Model.PortSignature — the sub-fingerprint over only the
+// port/descriptor-relevant model subset (ports, structural parameters,
+// memory pipeline, unknown policy, instruction table). Artifacts depend on
+// exactly that subset, so two models differing only in node-level
+// parameters (bandwidth, ECM, TDP, frequencies) or labels share every
+// compiled artifact — the sharing a design-space sweep's node variants
+// ride — while an in-place port mutation plus Reindex (new signature)
+// still misses, and a what-if model can never share a mis-parameterized
+// Program with the built-in it shadows. Memo and store entries, by
+// contrast, stay keyed on the full Model.CacheKey: a *result* names the
+// whole modeled scenario, an *artifact* only its in-core inputs. Errors
+// are cached like successes (determinism over optimism, matching
+// Cache.Do). SwapTiers deliberately does not touch this tier: artifacts
+// are content-addressed and model-signed, so they stay valid across store
+// swaps.
 
 // artifactKind indexes the per-kind entry counters.
 type artifactKind int
@@ -185,13 +194,17 @@ var artifacts = NewArtifacts()
 func CompiledArtifacts() *Artifacts { return artifacts }
 
 // CompileProgram returns the process-cached compiled program for (block
-// content, model). The program is shared and immutable — sim.Program is
-// safe for concurrent Run — and compiles exactly once per key under
-// singleflight regardless of how many goroutines request it cold.
-// Traced and untraced simulations share one entry: a trace changes what
-// Run reports, never what Compile produces.
+// content, model port signature). The program is shared and immutable —
+// sim.Program is safe for concurrent Run — and compiles exactly once per
+// key under singleflight regardless of how many goroutines request it
+// cold. Keying on PortSignature rather than CacheKey is safe because both
+// Compile and the engine's Run-time reads of the retained model touch
+// only signature-covered fields (lookup tables, ports, structural
+// frontend/backend parameters); node-only model variants therefore share
+// one Program. Traced and untraced simulations share one entry: a trace
+// changes what Run reports, never what Compile produces.
 func CompileProgram(b *isa.Block, m *uarch.Model) (*sim.Program, error) {
-	key := "prog\x00" + m.CacheKey() + "\x00" + BlockKey(b)
+	key := "prog\x00" + m.PortSignature() + "\x00" + BlockKey(b)
 	return doArtifact(artifacts, kindProgram, key, (*sim.Program).SizeEstimate,
 		func() (*sim.Program, error) { return sim.Compile(b, m) })
 }
@@ -244,11 +257,13 @@ func analysisSkeleton(b *isa.Block, opt depgraph.Options) (*depgraph.Skeleton, e
 }
 
 // analysisDescs returns the process-cached resolved-descriptor table for
-// (block content, model, degrade policy) — the per-model half of graph
-// construction. Keyed by Model.CacheKey, so a mutated-and-reindexed model
-// resolves its own table.
+// (block content, model port signature, degrade policy) — the per-model
+// half of graph construction. Keyed by Model.PortSignature: descriptor
+// resolution reads only the signature-covered subset, so node-only model
+// variants share one table while a mutated-and-reindexed port table still
+// resolves its own.
 func analysisDescs(b *isa.Block, m *uarch.Model, sk *depgraph.Skeleton, opt depgraph.Options) ([]uarch.Desc, error) {
-	key := "descs\x00" + m.CacheKey() + "\x00degrade=" + strconv.FormatBool(opt.DegradeUnknown) +
+	key := "descs\x00" + m.PortSignature() + "\x00degrade=" + strconv.FormatBool(opt.DegradeUnknown) +
 		"\x00" + BlockKey(b)
 	return doArtifact(artifacts, kindDescs, key, descsSizeEstimate,
 		func() ([]uarch.Desc, error) { return sk.ResolveDescs(m, opt.DegradeUnknown) })
@@ -266,11 +281,12 @@ func descsSizeEstimate(ds []uarch.Desc) int {
 }
 
 // compiledMCA returns the process-cached mca static schedule for (block
-// content, model). Parameters are derived from the model key
-// (mca.ParamsFor), which CacheKey embeds, so they need no separate key
-// component.
+// content, model key, model port signature). The signature covers the
+// tables mca lowering reads; the key must ride alongside because
+// scheduler parameters are derived from it (mca.ParamsFor), which the
+// signature deliberately excludes.
 func compiledMCA(b *isa.Block, m *uarch.Model) (*mca.Compiled, error) {
-	key := "mcaprog\x00" + m.CacheKey() + "\x00" + BlockKey(b)
+	key := "mcaprog\x00" + m.Key + "\x00" + m.PortSignature() + "\x00" + BlockKey(b)
 	return doArtifact(artifacts, kindMCA, key, (*mca.Compiled).SizeEstimate,
 		func() (*mca.Compiled, error) { return mca.Compile(b, m, mca.ParamsFor(m.Key)) })
 }

@@ -89,6 +89,87 @@ func AnalyzeWarm(an *core.Analyzer, b *isa.Block, m *uarch.Model) (*core.Result,
 	return res, err == nil && !computed, err
 }
 
+// Cell is the compact, persistable projection of one analysis that a
+// design-space sweep stores per (model variant, block): the scalar
+// outcomes downstream projections (ECM, Roofline, frequency) and Pareto
+// fronts consume, without the per-instruction reports a full core.Result
+// carries. Small cells keep a hundreds-of-variants sweep's store
+// footprint proportional to its information content.
+type Cell struct {
+	// Prediction is the lower-bound cycles per iteration; Bound names
+	// the binding constraint ("port", "issue", "lcd").
+	Prediction float64 `json:"prediction"`
+	Bound      string  `json:"bound"`
+	// TPBound / IssueBound / CriticalPath / LCDCycles are the individual
+	// bounds behind the prediction.
+	TPBound      float64 `json:"tp_bound"`
+	IssueBound   float64 `json:"issue_bound"`
+	CriticalPath float64 `json:"critical_path"`
+	LCDCycles    float64 `json:"lcd_cycles"`
+	// TotalUops counts µ-ops per iteration; Unknown counts instructions
+	// resolved through the degraded unknown-descriptor path.
+	TotalUops int `json:"total_uops"`
+	Unknown   int `json:"unknown,omitempty"`
+	// TOLIt / TnOLIt are the per-iteration ECM in-core inputs: the
+	// maximum port pressure off (with the LCD folded in) and on the
+	// model's memory ports, in cycles per iteration. Scaling by
+	// 8/elemsPerIter yields ecm.InCoreInputs' cache-line units. They are
+	// stored because the split depends on the analyzing model's port
+	// masks, which the cell (unlike a full result) no longer carries.
+	TOLIt  float64 `json:"t_ol_it"`
+	TnOLIt float64 `json:"t_nol_it"`
+}
+
+// CellOf projects an analysis result to its sweep cell.
+func CellOf(res *core.Result) Cell {
+	c := Cell{
+		Prediction:   res.Prediction,
+		Bound:        res.Bound,
+		TPBound:      res.TPBound,
+		IssueBound:   res.IssueBound,
+		CriticalPath: res.CriticalPath,
+		LCDCycles:    res.LCD.Cycles,
+		TotalUops:    res.TotalUops,
+		Unknown:      res.Coverage.Unknown,
+	}
+	m := res.Model
+	memMask := m.LoadPorts | m.StoreAGUPorts | m.StoreDataPorts | m.WideLoadPorts
+	for p, load := range res.PortPressure {
+		if memMask.Has(p) {
+			c.TnOLIt = max(c.TnOLIt, load)
+		} else {
+			c.TOLIt = max(c.TOLIt, load)
+		}
+	}
+	c.TOLIt = max(c.TOLIt, res.LCD.Cycles)
+	return c
+}
+
+// AnalyzeCellWarm is the design-space sweep's analysis entry point: it
+// memoizes (and, with a store attached, persists) the Cell projection of
+// one analysis, keyed like AnalyzeWarm by (analyzer options, model cache
+// key, block content) — the full Model.CacheKey, never the port
+// signature, so a sweep is warm-resumable per variant and a variant's
+// cells can never collide with the built-in scenario sharing its key.
+// Cold cells compute through the zero-allocation AnalyzeInternal arena
+// path: the arena-owned Result is projected to a value Cell before the
+// compute closure returns, so no arena memory escapes into the memo
+// tier. ar is bound to the calling goroutine like any InternalArena.
+// warm reports provenance exactly as AnalyzeWarm does.
+func AnalyzeCellWarm(an *core.Analyzer, b *isa.Block, m *uarch.Model, ar *InternalArena) (Cell, bool, error) {
+	key := "sweepcell\x00" + an.Fingerprint() + "\x00" + m.CacheKey() + "\x00" + BlockKey(b)
+	computed := false
+	cell, err := doStoredJSON(shared, key, func() (Cell, error) {
+		computed = true
+		res, err := AnalyzeInternal(an, b, m, ar)
+		if err != nil {
+			return Cell{}, err
+		}
+		return CellOf(res), nil
+	})
+	return cell, err == nil && !computed, err
+}
+
 // Simulate memoizes sim.Run by (machine model, simulator config, block
 // content). Runs carrying a trace callback execute directly — a trace is a
 // side effect the result cache must not swallow — but still draw their

@@ -18,7 +18,7 @@ import (
 func TestErrorEnvelopeTable(t *testing.T) {
 	// The body cap must admit a full machine file (the conflict case
 	// posts one) while staying cheap to overflow with a plain string.
-	ts := newServerWith(t, Options{MaxBodyBytes: 4 << 20, MaxBlockInstrs: 4, JobWorkers: -1, MaxJobs: 1})
+	ts := newServerWith(t, Options{MaxBodyBytes: 4 << 20, MaxBlockInstrs: 4, JobWorkers: -1, MaxJobs: 1, MaxSweepVariants: 4})
 
 	do := func(method, path, body string) (*http.Response, []byte) {
 		t.Helper()
@@ -66,6 +66,8 @@ func TestErrorEnvelopeTable(t *testing.T) {
 		{"oversized body", "POST", "/v1/analyze", `{"arch":"zen4","asm":"` + strings.Repeat("A", 4<<20) + `"}`, 413, CodeBodyTooLarge},
 		{"oversized block", "POST", "/v1/analyze", `{"arch":"zen4","asm":"` + strings.Repeat(`\taddq $1, %rax\n`, 5) + `"}`, 413, CodeBlockTooLarge},
 		{"model conflict", "POST", "/v1/models", string(machineJSON(t, conflict)), 409, CodeModelConflict},
+		{"oversized sweep", "POST", "/v1/sweep", `{"arch":"zen4","axes":[{"param":"tdp_watts","values":[1,2,3,4,5]}]}`, 413, CodeSweepTooLarge},
+		{"bad sweep param", "POST", "/v1/sweep", `{"arch":"zen4","axes":[{"param":"magic","values":[1]}]}`, 400, CodeInvalidRequest},
 		{"unknown job", "GET", "/v1/jobs/feed", "", 404, CodeJobNotFound},
 		{"job cap", "POST", "/v1/jobs", `{"requests":[{"arch":"zen4","asm":"\taddq $2, %rax\n"}]}`, 507, CodeQueueFull},
 		{"bad store hash", "GET", "/v1/store/not-a-hash", "", 400, CodeInvalidRequest},

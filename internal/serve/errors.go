@@ -36,6 +36,10 @@ const (
 	// CodeBlockTooLarge marks a parsed block over the instruction cap,
 	// rejected before analysis. Status 413.
 	CodeBlockTooLarge ErrorCode = "block_too_large"
+	// CodeSweepTooLarge marks a sweep whose declared cross-product
+	// exceeds the variant cap, rejected before any model is built.
+	// Status 413.
+	CodeSweepTooLarge ErrorCode = "sweep_too_large"
 	// CodeAnalysisTimeout marks an analysis that exceeded the deadline;
 	// the worker was released. Status 503.
 	CodeAnalysisTimeout ErrorCode = "analysis_timeout"

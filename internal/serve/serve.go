@@ -10,6 +10,7 @@
 //
 //	POST   /v1/analyze       one assembly block         → AnalyzeResponse
 //	POST   /v1/batch         many blocks in one call    → BatchResponse
+//	POST   /v1/sweep         design-space sweep         → sweep.Result
 //	POST   /v1/jobs          enqueue a durable batch    → JobSubmitResponse (202)
 //	GET    /v1/jobs/{id}     poll status + results      → jobqueue.JobView
 //	GET    /v1/jobs          list jobs (?state=)        → JobListResponse
@@ -20,6 +21,7 @@
 //	GET    /v1/store/{hash}  peer-store fetch           → wire envelope
 //	PUT    /v1/store/{hash}  peer-store write-behind    → 204
 //	GET    /healthz          liveness + accounting      → HealthResponse
+//	GET    /metrics          same accounting, Prometheus text format
 //
 // Every response echoes an X-Request-Id (client-supplied or generated),
 // and every non-2xx response carries the unified error envelope
@@ -249,6 +251,11 @@ type Options struct {
 	// MaxJobs bounds retained job records (0 selects the jobqueue
 	// default); submissions beyond it are refused with 507.
 	MaxJobs int
+	// MaxSweepVariants caps one sweep request's declared cross-product
+	// (0 selects DefaultMaxSweepVariants; negative disables the cap).
+	// Over-cap sweeps are refused with 413 sweep_too_large before any
+	// variant model is built.
+	MaxSweepVariants int
 	// AccessLog, when non-nil, receives one line per request: method,
 	// path, status, duration, request ID, and the store warm/cold delta.
 	AccessLog *log.Logger
@@ -263,6 +270,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.AnalysisTimeout == 0 {
 		o.AnalysisTimeout = DefaultAnalysisTimeout
+	}
+	if o.MaxSweepVariants == 0 {
+		o.MaxSweepVariants = DefaultMaxSweepVariants
 	}
 	return o
 }
@@ -336,6 +346,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
 	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
@@ -346,6 +357,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/store/{hash}", s.handlePeerGet)
 	mux.HandleFunc("PUT /v1/store/{hash}", s.handlePeerPut)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s.withRequestID(s.withRecover(mux))
 }
 

@@ -1,0 +1,153 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"incore/internal/sweep"
+)
+
+const sweepAsm = "\tvmovapd (%rdi,%rax,8), %ymm0\n\tvaddpd (%rsi,%rax,8), %ymm0, %ymm0\n\tvmovapd %ymm0, (%rdx,%rax,8)\n\taddq $4, %rax\n\tcmpq %rcx, %rax\n\tjb .L1\n"
+
+// TestSweepEndpoint pins POST /v1/sweep: explicit blocks, a node-only
+// axis pair, the full result shape, and the artifact-sharing observable
+// (one distinct port signature across all variants).
+func TestSweepEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	req := SweepRequest{
+		Arch: "zen4",
+		Axes: []SweepAxis{
+			{Param: "mem_bandwidth_gbs", Values: []float64{60, 120}},
+			{Param: "tdp_watts", Values: []float64{200, 280}},
+		},
+		Blocks: []SweepBlock{{Name: "vadd", Asm: sweepAsm}},
+	}
+	resp, body := post(t, ts, "/v1/sweep", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var res sweep.Result
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatalf("decoding result: %v\n%s", err, body)
+	}
+	if res.Base != "zen4" || res.BaseCacheKey != "zen4" {
+		t.Errorf("base = %s (%s), want zen4", res.Base, res.BaseCacheKey)
+	}
+	if len(res.Variants) != 4 {
+		t.Fatalf("%d variants, want 4", len(res.Variants))
+	}
+	if res.DistinctSignatures != 1 {
+		t.Errorf("node-only sweep: %d distinct signatures, want 1", res.DistinctSignatures)
+	}
+	for _, v := range res.Variants {
+		if v.TotalCycles <= 0 || len(v.Predictions) != 1 {
+			t.Errorf("variant %d: implausible row %+v", v.Index, v)
+		}
+		if !strings.HasPrefix(v.CacheKey, "zen4@") {
+			t.Errorf("variant %d: cache key %q does not carry a fingerprint", v.Index, v.CacheKey)
+		}
+	}
+	if len(res.Fronts) == 0 {
+		t.Error("no Pareto fronts in response")
+	}
+
+	// An identical sweep re-served is all-warm: the rows were stored.
+	resp, body = post(t, ts, "/v1/sweep", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("second sweep status = %d: %s", resp.StatusCode, body)
+	}
+	var res2 sweep.Result
+	if err := json.Unmarshal(body, &res2); err != nil {
+		t.Fatal(err)
+	}
+	if res2.Cold != 0 || res2.Warm != res.Warm+res.Cold {
+		t.Errorf("second sweep: %d warm / %d cold, want %d warm / 0 cold",
+			res2.Warm, res2.Cold, res.Warm+res.Cold)
+	}
+}
+
+// TestSweepEndpointDefaultsToSuite: omitting blocks sweeps the kernel
+// validation suite of the model's architecture.
+func TestSweepEndpointDefaultsToSuite(t *testing.T) {
+	ts := newTestServer(t)
+	req := SweepRequest{
+		Arch: "goldencove",
+		Axes: []SweepAxis{{Param: "mem_bandwidth_gbs", Values: []float64{100, 200}}},
+	}
+	resp, body := post(t, ts, "/v1/sweep", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var res sweep.Result
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Blocks) < 13 {
+		t.Errorf("suite sweep covered %d blocks, want the full suite", len(res.Blocks))
+	}
+	if len(res.Variants) != 2 {
+		t.Errorf("%d variants, want 2", len(res.Variants))
+	}
+}
+
+// TestSweepEndpointCustomModelNeedsBlocks: a custom machine has no
+// kernel suite, so a block-less sweep is a clear client error.
+func TestSweepEndpointCustomModelNeedsBlocks(t *testing.T) {
+	ts := newTestServer(t)
+	m := customModel(t, "sweep-custom")
+	resp, body := post(t, ts, "/v1/sweep", map[string]any{
+		"machine": json.RawMessage(machineJSON(t, m)),
+		"axes":    []SweepAxis{{Param: "rob_size", Values: []float64{64, 128}}},
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+}
+
+// TestMetricsEndpoint pins /metrics: Prometheus text format carrying the
+// health counters, including the sweep tier's.
+func TestMetricsEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	// Generate some traffic so counters are live.
+	if resp, body := post(t, ts, "/v1/analyze", AnalyzeRequest{Arch: "zen4", Asm: sweepAsm}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze status = %d: %s", resp.StatusCode, body)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q, want text/plain", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, series := range []string{
+		"incore_models ",
+		"incore_cache_misses_total ",
+		"incore_compiled_programs ",
+		"incore_compiled_compiles_total ",
+		"incore_jobs_depth ",
+		"incore_sweep_sweeps_total ",
+		"incore_sweep_rejected_too_large_total ",
+		"# TYPE incore_cache_hits_total counter",
+		"# TYPE incore_jobs_depth gauge",
+	} {
+		if !strings.Contains(text, series) {
+			t.Errorf("metrics output missing %q", series)
+		}
+	}
+	// This test server has no persistent store attached: no store series.
+	if strings.Contains(text, "incore_store_") {
+		t.Error("store series rendered without an attached store")
+	}
+}

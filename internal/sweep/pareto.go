@@ -1,0 +1,112 @@
+package sweep
+
+import "sort"
+
+// Front is one Pareto front of the swept design space: the variants not
+// dominated on the (Cost, Perf) plane. Cost is always minimized; Perf
+// direction depends on the front (cycles are minimized, GF/s maximized).
+type Front struct {
+	// Name identifies the front ("total_cycles_vs_load_ports",
+	// "sustained_gflops_vs_tdp_watts").
+	Name string `json:"name"`
+	// CostParam is the swept parameter on the cost axis; PerfMetric
+	// names the performance axis; MaximizePerf its direction.
+	CostParam    string  `json:"cost_param"`
+	PerfMetric   string  `json:"perf_metric"`
+	MaximizePerf bool    `json:"maximize_perf,omitempty"`
+	Points       []Point `json:"points"`
+}
+
+// Point is one non-dominated variant.
+type Point struct {
+	Variant int     `json:"variant"`
+	Cost    float64 `json:"cost"`
+	Perf    float64 `json:"perf"`
+}
+
+// fronts derives the sweep's Pareto fronts: per axis, predicted total
+// in-core cycles vs. the axis value (hardware cost); plus, when the
+// models carry a frequency governor, sustained GF/s vs. TDP.
+func fronts(res *Result) []Front {
+	var out []Front
+	for _, ax := range res.Axes {
+		if len(ax.Values) < 2 {
+			continue
+		}
+		f := Front{
+			Name:       "total_cycles_vs_" + ax.Param,
+			CostParam:  ax.Param,
+			PerfMetric: "total_cycles",
+		}
+		f.Points = pareto(res.Variants, func(v *VariantResult) (float64, float64, bool) {
+			c, ok := axisValue(v.Params, ax.Param)
+			return c, v.TotalCycles, ok
+		}, false)
+		out = append(out, f)
+
+		if ax.Param == "tdp_watts" {
+			g := Front{
+				Name:         "sustained_gflops_vs_tdp_watts",
+				CostParam:    "tdp_watts",
+				PerfMetric:   "sustained_gflops",
+				MaximizePerf: true,
+			}
+			g.Points = pareto(res.Variants, func(v *VariantResult) (float64, float64, bool) {
+				c, ok := axisValue(v.Params, "tdp_watts")
+				return c, v.SustainedGFlops, ok && v.SustainedGFlops > 0
+			}, true)
+			if len(g.Points) > 0 {
+				out = append(out, g)
+			}
+		}
+	}
+	return out
+}
+
+// pareto filters the variants to the non-dominated set on (cost, perf):
+// a point survives if no other point is at least as good on both axes
+// and strictly better on one. The result is sorted by ascending cost
+// (ties broken by perf, then variant index), which — combined with the
+// canonical variant enumeration — makes fronts byte-identical across
+// runs and worker counts.
+func pareto(vs []VariantResult, metric func(*VariantResult) (cost, perf float64, ok bool), maximize bool) []Point {
+	pts := make([]Point, 0, len(vs))
+	for i := range vs {
+		c, p, ok := metric(&vs[i])
+		if !ok {
+			continue
+		}
+		if maximize {
+			p = -p
+		}
+		pts = append(pts, Point{Variant: vs[i].Index, Cost: c, Perf: p})
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].Cost != pts[j].Cost {
+			return pts[i].Cost < pts[j].Cost
+		}
+		if pts[i].Perf != pts[j].Perf {
+			return pts[i].Perf < pts[j].Perf
+		}
+		return pts[i].Variant < pts[j].Variant
+	})
+	// After the sort, a point is dominated exactly when some earlier
+	// point has perf <= its perf (earlier means cost <=; equal-cost
+	// equal-perf duplicates keep only the first).
+	front := pts[:0]
+	best := 0.0
+	haveBest := false
+	for _, p := range pts {
+		if haveBest && p.Perf >= best {
+			continue
+		}
+		front = append(front, p)
+		best, haveBest = p.Perf, true
+	}
+	if maximize {
+		for i := range front {
+			front[i].Perf = -front[i].Perf
+		}
+	}
+	return append([]Point(nil), front...)
+}

@@ -1,0 +1,51 @@
+package sweep
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Render formats the sweep result as a deterministic text report: the
+// variant grid in enumeration order, then the Pareto fronts. Floats use
+// the shortest round-trippable representation, so equal results are
+// byte-identical across runs, worker counts, and platforms — the
+// property the CI sweep gate pins.
+func (r *Result) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "sweep: base %s (%s)\n", r.Base, r.BaseCacheKey)
+	for _, ax := range r.Axes {
+		vals := make([]string, len(ax.Values))
+		for i, v := range ax.Values {
+			vals[i] = g(v)
+		}
+		fmt.Fprintf(&sb, "axis %s: %s\n", ax.Param, strings.Join(vals, " "))
+	}
+	fmt.Fprintf(&sb, "blocks: %d  variants: %d  distinct port signatures: %d\n",
+		len(r.Blocks), len(r.Variants), r.DistinctSignatures)
+	sb.WriteString("\n")
+	for i := range r.Variants {
+		v := &r.Variants[i]
+		fmt.Fprintf(&sb, "variant %4d  %-40s  portsig %s  cycles %s",
+			v.Index, FormatParams(v.Params), v.PortSignature, g(v.TotalCycles))
+		if v.ECMMemCycles > 0 {
+			fmt.Fprintf(&sb, "  ecm-mem %s", g(v.ECMMemCycles))
+		}
+		if v.SustainedGFlops > 0 {
+			fmt.Fprintf(&sb, "  sustained %s GHz / %s GF/s", g(v.SustainedGHz), g(v.SustainedGFlops))
+		}
+		sb.WriteString("\n")
+	}
+	for _, f := range r.Fronts {
+		fmt.Fprintf(&sb, "\npareto %s (%s vs %s%s):\n", f.Name, f.PerfMetric, f.CostParam,
+			map[bool]string{true: ", maximizing"}[f.MaximizePerf])
+		for _, p := range f.Points {
+			fmt.Fprintf(&sb, "  %s=%s  %s=%s  (variant %d)\n",
+				f.CostParam, g(p.Cost), f.PerfMetric, g(p.Perf), p.Variant)
+		}
+	}
+	return sb.String()
+}
+
+// g is the deterministic float format shared by the whole report.
+func g(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

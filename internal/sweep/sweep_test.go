@@ -1,0 +1,294 @@
+package sweep
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"incore/internal/kernels"
+	"incore/internal/pipeline"
+	"incore/internal/uarch"
+)
+
+func testBlocks(t *testing.T, arch string) []Block {
+	t.Helper()
+	var out []Block
+	for _, name := range []string{"striad", "sum"} {
+		k, err := kernels.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := kernels.Config{Arch: arch, Compiler: kernels.GCC, Opt: kernels.O3}
+		b, err := kernels.Generate(k, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, Block{Name: b.Name, B: b, ElemsPerIter: kernels.ElemsPerIter(k, cfg), Kernel: k})
+	}
+	return out
+}
+
+func TestCanonicalizeOrderIndependence(t *testing.T) {
+	a := []Axis{
+		{Param: "tdp_watts", Values: []float64{300, 200, 300, 250}},
+		{Param: "mem_bandwidth_gbs", Values: []float64{100, 50}},
+	}
+	b := []Axis{
+		{Param: "mem_bandwidth_gbs", Values: []float64{50, 100}},
+		{Param: "tdp_watts", Values: []float64{250, 300, 200}},
+	}
+	ca, err := Canonicalize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := Canonicalize(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ca) != len(cb) {
+		t.Fatalf("canonical lengths differ: %d vs %d", len(ca), len(cb))
+	}
+	for i := range ca {
+		if ca[i].Param != cb[i].Param {
+			t.Fatalf("axis %d: %s vs %s", i, ca[i].Param, cb[i].Param)
+		}
+		if len(ca[i].Values) != len(cb[i].Values) {
+			t.Fatalf("axis %s: value counts differ", ca[i].Param)
+		}
+		for j := range ca[i].Values {
+			if ca[i].Values[j] != cb[i].Values[j] {
+				t.Fatalf("axis %s value %d: %v vs %v", ca[i].Param, j, ca[i].Values[j], cb[i].Values[j])
+			}
+		}
+	}
+	if n := Count(ca); n != 6 {
+		t.Fatalf("Count = %d, want 6 (dedup dropped a duplicate)", n)
+	}
+}
+
+func TestCanonicalizeRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		axes []Axis
+	}{
+		{"unknown param", []Axis{{Param: "magic", Values: []float64{1}}}},
+		{"duplicate axis", []Axis{{Param: "rob_size", Values: []float64{64}}, {Param: "rob_size", Values: []float64{128}}}},
+		{"empty values", []Axis{{Param: "rob_size", Values: nil}}},
+		{"non-integer int", []Axis{{Param: "rob_size", Values: []float64{64.5}}}},
+		{"non-positive", []Axis{{Param: "tdp_watts", Values: []float64{0}}}},
+		{"nan", []Axis{{Param: "tdp_watts", Values: []float64{math.NaN()}}}},
+		{"port overflow", []Axis{{Param: "load_ports", Values: []float64{40}}}},
+	}
+	for _, tc := range cases {
+		if _, err := Canonicalize(tc.axes); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+// TestVariantDeterminism pins the generation contract: identical ranges,
+// regardless of axis or value ordering, produce identical variants —
+// same fingerprints, same cache keys, same enumeration order.
+func TestVariantDeterminism(t *testing.T) {
+	base := uarch.MustGet("goldencove")
+	a := []Axis{
+		{Param: "mem_bandwidth_gbs", Values: []float64{120, 80}},
+		{Param: "tdp_watts", Values: []float64{350, 250}},
+	}
+	b := []Axis{
+		{Param: "tdp_watts", Values: []float64{250, 350}},
+		{Param: "mem_bandwidth_gbs", Values: []float64{80, 120, 80}},
+	}
+	va, err := Variants(base, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vb, err := Variants(base, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(va) != 4 || len(vb) != 4 {
+		t.Fatalf("variant counts: %d, %d, want 4", len(va), len(vb))
+	}
+	for i := range va {
+		if va[i].Model.Fingerprint() != vb[i].Model.Fingerprint() {
+			t.Fatalf("variant %d: fingerprints differ across orderings", i)
+		}
+		if va[i].Model.CacheKey() != vb[i].Model.CacheKey() {
+			t.Fatalf("variant %d: cache keys differ across orderings", i)
+		}
+		if FormatParams(va[i].Params) != FormatParams(vb[i].Params) {
+			t.Fatalf("variant %d: params differ: %s vs %s", i,
+				FormatParams(va[i].Params), FormatParams(vb[i].Params))
+		}
+	}
+}
+
+// TestNodeOnlyVariantsSharePortSignature is the artifact-sharing
+// foundation: variants that differ only in node/clocking parameters keep
+// the base model's port signature (so the compiled tier serves them the
+// same descriptor tables, schedules, and programs) while their full
+// fingerprints — and therefore their result cache keys — all differ.
+func TestNodeOnlyVariantsSharePortSignature(t *testing.T) {
+	base := uarch.MustGet("goldencove")
+	axes := []Axis{
+		{Param: "mem_bandwidth_gbs", Values: []float64{60, 90, 120}},
+		{Param: "tdp_watts", Values: []float64{200, 350}},
+		{Param: "max_freq_ghz", Values: []float64{3.0, 3.8}},
+	}
+	if !NodeOnly(axes) {
+		t.Fatal("axes should classify as node-only")
+	}
+	vs, err := Variants(base, axes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fps := map[string]bool{}
+	for _, v := range vs {
+		if got := v.Model.PortSignature(); got != base.PortSignature() {
+			t.Fatalf("variant %d (%s): port signature %s != base %s",
+				v.Index, FormatParams(v.Params), got[:12], base.PortSignature()[:12])
+		}
+		if v.Model.Fingerprint() == base.Fingerprint() {
+			t.Fatalf("variant %d: fingerprint identical to base", v.Index)
+		}
+		fps[v.Model.Fingerprint()] = true
+	}
+	if len(fps) != len(vs) {
+		t.Fatalf("%d distinct fingerprints for %d variants", len(fps), len(vs))
+	}
+}
+
+func TestPortCountVariantsChangeSignature(t *testing.T) {
+	base := uarch.MustGet("goldencove")
+	baseFP := base.Fingerprint()
+	axes := []Axis{{Param: "load_ports", Values: []float64{1, 2, 3, 4}}}
+	if NodeOnly(axes) {
+		t.Fatal("port axes must not classify as node-only")
+	}
+	vs, err := Variants(base, axes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigs := map[string]bool{}
+	for _, v := range vs {
+		sigs[v.Model.PortSignature()] = true
+		if got := v.Model.LoadPorts.Count(); got != int(v.Params[0].Value) {
+			t.Fatalf("variant %d: load port count %d, want %v", v.Index, got, v.Params[0].Value)
+		}
+	}
+	if len(sigs) != len(vs) {
+		t.Fatalf("%d distinct signatures for %d port-count variants", len(sigs), len(vs))
+	}
+	// The base model must be untouched by variant generation.
+	if base.Fingerprint() != baseFP {
+		t.Fatal("variant generation mutated the base model")
+	}
+	if base.Ports[len(base.Ports)-1] == "ld#12" {
+		t.Fatal("variant generation grew the base model's port list")
+	}
+}
+
+// TestRunDeterministicAcrossWorkers pins the sweep-level contract: the
+// rendered report is byte-identical at any worker count, and re-running
+// in-process is all-warm.
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	base := uarch.MustGet("goldencove")
+	blocks := testBlocks(t, "goldencove")
+	axes := []Axis{
+		{Param: "mem_bandwidth_gbs", Values: []float64{60, 120}},
+		{Param: "tdp_watts", Values: []float64{200, 350}},
+	}
+	prev := pipeline.SetDefaultWorkers(1)
+	defer pipeline.SetDefaultWorkers(prev)
+
+	r1, err := Run(base, axes, blocks, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipeline.SetDefaultWorkers(8)
+	r8, err := Run(base, axes, blocks, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Render() != r8.Render() {
+		t.Fatal("render differs between -j1 and -j8")
+	}
+	if r1.Cold == 0 {
+		t.Fatal("first run computed nothing")
+	}
+	if r8.Cold != 0 || r8.Warm != r1.Warm+r1.Cold {
+		t.Fatalf("second run: %d warm / %d cold, want %d warm / 0 cold",
+			r8.Warm, r8.Cold, r1.Warm+r1.Cold)
+	}
+	if r1.DistinctSignatures != 1 {
+		t.Fatalf("node-only sweep: %d distinct signatures, want 1", r1.DistinctSignatures)
+	}
+	if len(r1.Fronts) == 0 {
+		t.Fatal("no Pareto fronts")
+	}
+	for _, f := range r1.Fronts {
+		if f.Name == "sustained_gflops_vs_tdp_watts" {
+			if len(f.Points) == 0 {
+				t.Fatal("empty GF/s-vs-TDP front")
+			}
+			// Higher TDP must never appear with lower-or-equal GF/s.
+			for i := 1; i < len(f.Points); i++ {
+				if f.Points[i].Perf <= f.Points[i-1].Perf {
+					t.Fatalf("front %s not strictly improving: %+v", f.Name, f.Points)
+				}
+			}
+		}
+	}
+}
+
+func TestRunRejectsTooLarge(t *testing.T) {
+	base := uarch.MustGet("goldencove")
+	blocks := testBlocks(t, "goldencove")
+	axes := []Axis{{Param: "tdp_watts", Values: []float64{1, 2, 3, 4, 5}}}
+	_, err := Run(base, axes, blocks, Options{MaxVariants: 4})
+	var tooLarge *ErrTooLarge
+	if !errors.As(err, &tooLarge) {
+		t.Fatalf("want ErrTooLarge, got %v", err)
+	}
+	if tooLarge.Variants != 5 || tooLarge.Max != 4 {
+		t.Fatalf("ErrTooLarge = %+v", tooLarge)
+	}
+}
+
+func TestCountSaturates(t *testing.T) {
+	vals := make([]float64, 100000)
+	for i := range vals {
+		vals[i] = float64(i + 1)
+	}
+	axes := []Axis{
+		{Param: "rob_size", Values: vals},
+		{Param: "scheduler_size", Values: vals},
+		{Param: "tdp_watts", Values: vals},
+		{Param: "mem_bandwidth_gbs", Values: vals},
+	}
+	if n := Count(axes); n != math.MaxInt {
+		t.Fatalf("Count = %d, want saturation at MaxInt", n)
+	}
+}
+
+func TestRenderStable(t *testing.T) {
+	base := uarch.MustGet("zen4")
+	blocks := testBlocks(t, "zen4")
+	axes := []Axis{{Param: "rob_size", Values: []float64{64, 320}}}
+	r, err := Run(base, axes, blocks, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := r.Render()
+	if !strings.Contains(out, "axis rob_size: 64 320") {
+		t.Fatalf("render missing axis line:\n%s", out)
+	}
+	if !strings.Contains(out, "pareto total_cycles_vs_rob_size") {
+		t.Fatalf("render missing front:\n%s", out)
+	}
+	if r.DistinctSignatures != 2 {
+		t.Fatalf("rob_size sweep: %d distinct signatures, want 2", r.DistinctSignatures)
+	}
+}

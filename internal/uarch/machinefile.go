@@ -355,6 +355,82 @@ func (m *Model) computeFingerprint() string {
 	return hex.EncodeToString(sum[:])
 }
 
+// portFile is the canonical wire subset behind Model.PortSignature: every
+// field the in-core stages read — descriptor resolution (entries, unknown
+// policy, memory pipeline, port count), port-pressure analysis and mca
+// lowering (port masks via the descriptors), and sim compilation/execution
+// (dialect, lookup tables, and the structural frontend/backend parameters
+// the engine reads from its retained model pointer) — and nothing else.
+// Key, labels, clocking, core counts, and the node section are deliberately
+// absent: varying them must not change the signature.
+type portFile struct {
+	Dialect string   `json:"dialect"`
+	Ports   []string `json:"ports"`
+
+	IssueWidth  int `json:"issue_width"`
+	DecodeWidth int `json:"decode_width"`
+	RetireWidth int `json:"retire_width"`
+	ROBSize     int `json:"rob_size"`
+	SchedSize   int `json:"scheduler_size"`
+	PhysVecRegs int `json:"phys_vec_regs,omitempty"`
+	PhysGPRegs  int `json:"phys_gp_regs,omitempty"`
+
+	LoadPorts      []string `json:"load_ports"`
+	StoreAGUPorts  []string `json:"store_agu_ports"`
+	StoreDataPorts []string `json:"store_data_ports"`
+	LoadLat        int      `json:"load_latency"`
+	LoadWidthBits  int      `json:"load_width_bits"`
+	StoreWidthBits int      `json:"store_width_bits"`
+	WideLoadPorts  []string `json:"wide_load_ports,omitempty"`
+	WideLoadBits   int      `json:"wide_load_bits,omitempty"`
+
+	Unknown *machineUnknown `json:"unknown,omitempty"`
+
+	Entries []machineEntry `json:"instructions"`
+}
+
+// computePortSignature hashes the canonical encoding of the port-relevant
+// model subset (see portFile). Like computeFingerprint, the encoding is
+// deterministic, so equal in-core content always yields equal signatures
+// across processes and builds.
+func (m *Model) computePortSignature() string {
+	pf := portFile{
+		Dialect: m.Dialect.String(), Ports: m.Ports,
+		IssueWidth: m.IssueWidth, DecodeWidth: m.DecodeWidth,
+		RetireWidth: m.RetireWidth, ROBSize: m.ROBSize, SchedSize: m.SchedSize,
+		PhysVecRegs: m.PhysVecRegs, PhysGPRegs: m.PhysGPRegs,
+		LoadPorts:      m.maskNames(m.LoadPorts),
+		StoreAGUPorts:  m.maskNames(m.StoreAGUPorts),
+		StoreDataPorts: m.maskNames(m.StoreDataPorts),
+		LoadLat:        m.LoadLat, LoadWidthBits: m.LoadWidthBits,
+		StoreWidthBits: m.StoreWidthBits,
+		WideLoadPorts:  m.maskNames(m.WideLoadPorts), WideLoadBits: m.WideLoadBits,
+	}
+	if u := m.Unknown; u != nil {
+		pf.Unknown = &machineUnknown{Ports: m.maskNames(u.Ports), Lat: u.Lat, Cycles: u.Cycles}
+	}
+	for _, e := range m.Entries {
+		// Notes are provenance documentation, not modeling content: a
+		// comment edit must not invalidate shared artifacts.
+		me := machineEntry{Mnemonic: e.Mnemonic, Sig: e.Sig, Width: e.Width, Lat: e.Lat}
+		for _, u := range e.Uops {
+			me.Uops = append(me.Uops, machineUop{
+				Ports: m.maskNames(u.Ports), Cycles: u.Cycles, Kind: kindName(u.Kind),
+			})
+		}
+		if me.Uops == nil {
+			me.Uops = []machineUop{}
+		}
+		pf.Entries = append(pf.Entries, me)
+	}
+	data, err := json.Marshal(pf)
+	if err != nil {
+		panic(fmt.Sprintf("uarch: port signature %s: %v", m.Key, err))
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
 func (m *Model) namesMask(names []string) (PortMask, error) {
 	var mask PortMask
 	for _, n := range names {

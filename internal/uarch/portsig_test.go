@@ -1,0 +1,130 @@
+package uarch
+
+import (
+	"bytes"
+	"testing"
+)
+
+// clone returns a deep-enough copy for the mutations these tests apply.
+func clone(t *testing.T, m *Model) *Model {
+	t.Helper()
+	c := *m
+	c.Ports = append([]string(nil), m.Ports...)
+	c.Entries = append([]Entry(nil), m.Entries...)
+	if m.Node != nil {
+		nc := *m.Node
+		if m.Node.ECM != nil {
+			ec := *m.Node.ECM
+			nc.ECM = &ec
+		}
+		if m.Node.Freq != nil {
+			fc := *m.Node.Freq
+			nc.Freq = &fc
+		}
+		c.Node = &nc
+	}
+	if err := c.Reindex(); err != nil {
+		t.Fatal(err)
+	}
+	return &c
+}
+
+func TestPortSignatureShape(t *testing.T) {
+	for _, key := range []string{"goldencove", "neoversev2", "zen4"} {
+		m := MustGet(key)
+		sig := m.PortSignature()
+		if len(sig) != 64 {
+			t.Fatalf("%s: signature length %d, want 64 hex chars", key, len(sig))
+		}
+		if sig == m.Fingerprint() {
+			t.Fatalf("%s: port signature equals full fingerprint — the node section is not being excluded", key)
+		}
+	}
+}
+
+// TestPortSignatureNodeInvariance pins the sharing contract: edits to
+// node-level, clocking, labeling, and documentation fields leave the
+// port signature unchanged (artifacts stay shared) while the full
+// fingerprint — the result cache identity — changes.
+func TestPortSignatureNodeInvariance(t *testing.T) {
+	base := MustGet("goldencove")
+	mutations := []struct {
+		name string
+		mut  func(m *Model)
+	}{
+		{"mem bandwidth", func(m *Model) { m.Node.MemBWGBs *= 2 }},
+		{"tdp", func(m *Model) { m.Node.Freq.TDPWatts -= 100 }},
+		{"base freq", func(m *Model) { m.BaseFreqGHz += 0.5 }},
+		{"max freq", func(m *Model) { m.MaxFreqGHz -= 0.5 }},
+		{"cores", func(m *Model) { m.CoresPerChip = 8 }},
+		{"name", func(m *Model) { m.Name = "What-If Cove" }},
+		{"cpu label", func(m *Model) { m.CPU = "Xeon w9-0000X" }},
+		{"entry notes", func(m *Model) { m.Entries[0].Notes = "edited provenance comment" }},
+	}
+	for _, tc := range mutations {
+		c := clone(t, base)
+		tc.mut(c)
+		if err := c.Reindex(); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if c.PortSignature() != base.PortSignature() {
+			t.Errorf("%s: port signature changed — node-only variants would recompile artifacts", tc.name)
+		}
+		if tc.name != "entry notes" && c.Fingerprint() == base.Fingerprint() {
+			t.Errorf("%s: fingerprint unchanged — results of a different scenario would collide", tc.name)
+		}
+	}
+}
+
+// TestPortSignatureInCoreSensitivity: edits to anything descriptor
+// resolution, port analysis, or the simulator reads must change the
+// signature, or a variant would be served another variant's artifacts.
+func TestPortSignatureInCoreSensitivity(t *testing.T) {
+	base := MustGet("goldencove")
+	mutations := []struct {
+		name string
+		mut  func(m *Model)
+	}{
+		{"issue width", func(m *Model) { m.IssueWidth++ }},
+		{"rob size", func(m *Model) { m.ROBSize /= 2 }},
+		{"scheduler size", func(m *Model) { m.SchedSize += 16 }},
+		{"load latency", func(m *Model) { m.LoadLat++ }},
+		{"load ports", func(m *Model) { m.LoadPorts &^= 1 << uint(m.LoadPorts.Indices()[0]) }},
+		{"port list", func(m *Model) { m.Ports = append(m.Ports, "extra") }},
+		{"entry latency", func(m *Model) { m.Entries[0].Lat++ }},
+		{"unknown policy", func(m *Model) { m.Unknown = &UnknownPolicy{Lat: 7} }},
+	}
+	for _, tc := range mutations {
+		c := clone(t, base)
+		tc.mut(c)
+		if err := c.Reindex(); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if c.PortSignature() == base.PortSignature() {
+			t.Errorf("%s: port signature unchanged — mis-parameterized artifacts would be shared", tc.name)
+		}
+		if c.Fingerprint() == base.Fingerprint() {
+			t.Errorf("%s: fingerprint unchanged", tc.name)
+		}
+	}
+}
+
+// TestPortSignatureRoundTrip: a machine file read back from its wire
+// form carries the same signature — the signature is content, not
+// process identity.
+func TestPortSignatureRoundTrip(t *testing.T) {
+	for _, key := range []string{"goldencove", "neoversev2", "zen4"} {
+		m := MustGet(key)
+		var buf bytes.Buffer
+		if err := m.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		rt, err := ReadJSON(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rt.PortSignature() != m.PortSignature() {
+			t.Fatalf("%s: signature changed across serialization round trip", key)
+		}
+	}
+}

@@ -206,6 +206,9 @@ type Model struct {
 	// fingerprint is the sha256 hex of the canonical machine-file wire
 	// form, computed at buildIndex time; see Fingerprint.
 	fingerprint string
+	// portsig is the sha256 hex of the port/descriptor-relevant model
+	// subset only, computed at buildIndex time; see PortSignature.
+	portsig string
 	// unknown is the descriptor template degraded lookups hand out for
 	// mnemonics outside the table, precomputed at buildIndex time from
 	// the Unknown policy so every degraded lookup of this model returns
@@ -295,6 +298,7 @@ func (m *Model) buildIndex() {
 	}
 	addMask(ports)
 	m.fingerprint = m.computeFingerprint()
+	m.portsig = m.computePortSignature()
 }
 
 // unknownPolicy resolves the unknown-instruction policy with defaults
@@ -342,6 +346,28 @@ func (m *Model) Fingerprint() string {
 		m.fingerprint = m.computeFingerprint()
 	}
 	return m.fingerprint
+}
+
+// PortSignature returns the model's in-core sub-fingerprint: the sha256
+// hex digest of a canonical encoding of only the port/descriptor-relevant
+// model subset — dialect, port list, structural frontend/backend
+// parameters (issue/decode/retire width, ROB, scheduler, physical
+// registers), the memory pipeline, the unknown-instruction policy, and
+// the instruction table. Node-level parameters (bandwidth, ECM, TDP,
+// frequencies), clocking, core counts, and labels (key, name, CPU,
+// vendor, entry notes) are excluded: two models that differ only in those
+// produce identical descriptor tables, port analyses, mca schedules, and
+// sim programs, and equal signatures let the compiled-artifact tier share
+// those artifacts across a design-space sweep's variants.
+//
+// Like Fingerprint, models that went through buildIndex carry a
+// precomputed signature; for a hand-built model the first call computes
+// and caches it, which is not safe to race with concurrent use.
+func (m *Model) PortSignature() string {
+	if m.portsig == "" {
+		m.portsig = m.computePortSignature()
+	}
+	return m.portsig
 }
 
 // CacheKey returns the identity under which pipeline and store entries
